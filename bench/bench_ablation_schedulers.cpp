@@ -1,0 +1,96 @@
+// Scheduler ablations:
+//   * local policy (FIFO vs data-aware vs static back-and-forth) on the DES
+//     testbed — wall time and disk traffic (the reuse the reordering buys);
+//   * global policy (affinity vs round-robin) on the real backend — the
+//     network traffic the paper's affinity heuristic avoids.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sched/engine.hpp"
+#include "simcluster/testbed.hpp"
+#include "solver/iterated_spmv.hpp"
+#include "spmv/generator.hpp"
+
+using namespace dooc;
+
+namespace {
+
+void local_policy_ablation() {
+  bench::section("local scheduling policy on the DES testbed (9 nodes, 4 iterations)");
+  bench::Table table({"policy", "time", "disk traffic", "reuse vs full sweeps"});
+  const double full_sweeps = 4.0 * 9.0 * 25.0 * 4e9;
+  for (auto policy : {sched::LocalPolicy::Fifo, sched::LocalPolicy::DataAware,
+                      sched::LocalPolicy::BackAndForth}) {
+    sim::TestbedExperiment e;
+    e.nodes = 9;
+    e.mode = solver::ReductionMode::Interleaved;
+    e.policy = policy;
+    const auto r = sim::run_testbed(e);
+    table.add_row({sched::to_string(policy), bench::fmt("%.0f s", r.time_seconds()),
+                   format_bytes(static_cast<double>(r.metrics.disk_bytes)),
+                   bench::fmt("%.1f%% saved",
+                              (1.0 - static_cast<double>(r.metrics.disk_bytes) / full_sweeps) * 100)});
+  }
+  table.print();
+  std::printf("(data-aware keeps the last-used blocks alive across the iteration barrier;\n the saving is modest at testbed scale — 25 blocks/iteration vs ~5 blocks of\n memory — but it is free; Fig. 5 shows the same effect at 3-node scale)\n");
+}
+
+void global_policy_ablation() {
+  bench::section("global assignment policy on the real backend (3 nodes)");
+  bench::Table table({"policy", "cross-node traffic", "tasks off their data"});
+  for (auto policy : {sched::GlobalPolicy::Affinity, sched::GlobalPolicy::RoundRobin}) {
+    const std::string dir = (std::filesystem::temp_directory_path() /
+                             ("dooc_abl_glob_" + std::to_string(::getpid()) + "_" +
+                              std::to_string(static_cast<int>(policy))))
+                                .string();
+    storage::StorageConfig cfg;
+    cfg.scratch_root = dir;
+    df::TransportStats transport(3);
+    storage::StorageCluster cluster(3, cfg, &transport);
+
+    auto m = spmv::generate_uniform_gap(4 * 1024, 4 * 1024, 3.0, 0x61);
+    const auto owner = spmv::column_strip_owner(3);
+    const auto deployed = spmv::deploy_matrix(cluster, m, 4, owner);
+    spmv::create_distributed_vector(cluster, deployed.grid, owner, "x", 0,
+                                    [](std::uint64_t) { return 1.0; });
+
+    solver::IteratedSpmvConfig config;
+    config.iterations = 2;
+    solver::IteratedSpmv driver(cluster, deployed, config);
+    // Clear the preferred-node pins so the global scheduler actually decides.
+    for (sched::TaskId t = 0; t < driver.graph().size(); ++t) {
+      auto& task = driver.graph().task(t);
+      if (task.kind == "multiply") task.preferred_node = -1;
+    }
+    sched::EngineConfig ecfg;
+    ecfg.global_policy = policy;
+    sched::Engine engine(cluster, ecfg);
+    const auto report = engine.run(driver.graph());
+
+    // Count multiply tasks that ran away from their sub-matrix.
+    int displaced = 0;
+    for (sched::TaskId t = 0; t < driver.graph().size(); ++t) {
+      const auto& task = driver.graph().task(t);
+      if (task.kind != "multiply") continue;
+      const auto meta = cluster.node(0).array_meta(task.inputs[0].array);
+      if (meta && meta->home_node != report.assignment[t]) ++displaced;
+    }
+    table.add_row({sched::to_string(policy),
+                   format_bytes(static_cast<double>(report.cross_node_bytes)),
+                   std::to_string(displaced)});
+    std::filesystem::remove_all(dir);
+  }
+  table.print();
+  std::printf("(the paper's heuristic: \"tasks are sent to the compute nodes which host\n"
+              " most of the data required to process them\")\n");
+}
+
+}  // namespace
+
+int main() {
+  local_policy_ablation();
+  global_policy_ablation();
+  return 0;
+}

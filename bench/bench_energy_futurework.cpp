@@ -1,0 +1,79 @@
+// Section VI-B future-work reproduction: energy efficiency of the
+// out-of-core SSD testbed vs the in-core Hopper runs, and of the paper's
+// proposed node-local-SSD redesign (§VI-A) vs the I/O-node testbed.
+//
+// Times come from the DES testbed runs and the calibrated Hopper model;
+// energy from the c.2012 power profile in perfmodel/energy.hpp. The
+// interesting output is the ratio, not the absolute kWh.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perfmodel/energy.hpp"
+#include "perfmodel/hopper_model.hpp"
+#include "simcluster/testbed.hpp"
+
+using namespace dooc;
+using perfmodel::EnergyBreakdown;
+
+int main() {
+  const perfmodel::PowerProfile power;
+  const auto model = perfmodel::HopperModel::calibrated();
+
+  bench::section("energy per Lanczos-iteration-equivalent: out-of-core vs in-core");
+  bench::Table table({"configuration", "time/iter", "compute kWh", "DRAM kWh", "storage kWh",
+                      "total kWh/iter"});
+
+  // Out-of-core: 9-node testbed on the 3.5 TB matrix (the Fig. 7 star) —
+  // 10 I/O nodes powered (the testbed's fixed tax), SSDs busy ~ the
+  // I/O-covered fraction of the run.
+  sim::TestbedExperiment base;
+  base.mode = solver::ReductionMode::Simple;
+  const auto star = sim::run_testbed_oversized(9, 36, base);
+  const double star_iter_s = star.time_seconds() / base.iterations;
+  const auto e_star = perfmodel::testbed_energy(
+      power, 9, star_iter_s, /*busy=*/0.7, /*ssd_busy=*/1.0 - star.non_overlapped(),
+      /*io_nodes=*/10);
+  table.add_row({"SSD testbed 9n + 10 I/O nodes (3.5 TB)", bench::fmt("%.0f s", star_iter_s),
+                 bench::fmt("%.2f", e_star.compute_kwh), bench::fmt("%.2f", e_star.dram_kwh),
+                 bench::fmt("%.2f", e_star.storage_kwh), bench::fmt("%.2f", e_star.total_kwh())});
+
+  // The paper's proposed redesign: SSDs on the compute nodes, no I/O nodes.
+  sim::SimResources local;
+  local.node_read_cap = 2.0e9;
+  local.aggregate_read_cap = 2.0e9 * 9;
+  local.bw_noise = 0.02;
+  const auto star_local = sim::run_testbed_oversized(9, 36, base, local);
+  const double local_iter_s = star_local.time_seconds() / base.iterations;
+  const auto e_local = perfmodel::testbed_energy(
+      power, 9, local_iter_s, /*busy=*/0.7, /*ssd_busy=*/1.0 - star_local.non_overlapped(),
+      /*io_nodes=*/0, /*ssds_per_io_node=*/0, /*ssds_per_compute_node=*/2);
+  table.add_row({"node-local SSDs, 9n (SVI-A design)", bench::fmt("%.0f s", local_iter_s),
+                 bench::fmt("%.2f", e_local.compute_kwh), bench::fmt("%.2f", e_local.dram_kwh),
+                 bench::fmt("%.2f", e_local.storage_kwh), bench::fmt("%.2f", e_local.total_kwh())});
+
+  // In-core: test4560 on Hopper (the comparable case).
+  const auto& c4560 = perfmodel::hopper_reference()[2];
+  const auto pred = model.predict(c4560.dimension, c4560.nnz, c4560.np);
+  const auto e_hopper = perfmodel::hopper_energy(power, c4560.np, pred.t_iter());
+  table.add_row({"Hopper in-core, 4560 cores (test4560)", bench::fmt("%.1f s", pred.t_iter()),
+                 bench::fmt("%.2f", e_hopper.compute_kwh), bench::fmt("%.2f", e_hopper.dram_kwh),
+                 bench::fmt("%.2f", e_hopper.storage_kwh),
+                 bench::fmt("%.2f", e_hopper.total_kwh())});
+  table.print();
+
+  const double local_vs_io = e_star.total_kwh() / e_local.total_kwh();
+  std::printf(
+      "\nfindings (with c.2012 power figures):\n"
+      " * the I/O-node testbed spends %.0f%% of its energy keeping 10 always-on I/O\n"
+      "   nodes powered — the bottleneck the paper's SVI-A redesign removes;\n"
+      " * node-local SSDs cut energy per iteration by %.0f%% (%.2f -> %.2f kWh);\n"
+      " * the in-core run (%.2f kWh/iter) remains competitive on *energy* despite\n"
+      "   losing on *CPU-hours*: Hopper's 24-core nodes are ~2.5x more core-dense\n"
+      "   than the 2009-era testbed nodes, so fewer node-seconds are burned.\n"
+      "   The paper's CPU-hour metric and an energy metric need not agree —\n"
+      "   exactly why it calls this study \"very interesting\" future work.\n",
+      e_star.storage_kwh / e_star.total_kwh() * 100.0,
+      (1.0 - 1.0 / local_vs_io) * 100.0, e_star.total_kwh(), e_local.total_kwh(),
+      e_hopper.total_kwh());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figures 3 & 4 reproduction: the command list emitted for the first two
+// iterations of iterated SpMV on a 3×3 grid, and the dependency DAG the
+// middleware derives from the input/output arrays.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "solver/iterated_spmv.hpp"
+
+using namespace dooc;
+
+int main() {
+  // Graph-only build: no storage needed to reproduce the figures.
+  spmv::BlockGrid grid(30, 3);
+  spmv::DeployedMatrix matrix;
+  matrix.grid = grid;
+  matrix.owner.assign(9, 0);
+  matrix.nnz.assign(9, 100);
+  matrix.bytes.assign(9, 2048);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) matrix.owner[static_cast<std::size_t>(u) * 3 + v] = v;
+  }
+
+  solver::VirtualArrayCreator creator;
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) creator.add_durable(matrix.name_of(u, v), 2048, v);
+    creator.add_durable(spmv::BlockGrid::vector_name("x", 0, u), grid.part_size(u) * 8, u);
+  }
+
+  solver::IteratedSpmvConfig config;
+  config.iterations = 2;
+  config.mode = solver::ReductionMode::Simple;
+  config.inter_iteration_sync = false;
+  solver::IteratedSpmv driver(creator, matrix, config);
+
+  bench::section("Fig. 3 — commands emitted for the first two iterations (3x3 grid)");
+  std::printf("%s", driver.command_list().c_str());
+
+  bench::section("Fig. 4 — dependencies derived from the input/output arrays");
+  std::printf("%s", driver.dependency_list().c_str());
+
+  bench::section("DAG statistics");
+  const auto& graph = driver.graph();
+  std::size_t mults = 0, sums = 0;
+  for (sched::TaskId t = 0; t < graph.size(); ++t) {
+    if (graph.task(t).kind == "multiply") ++mults;
+    if (graph.task(t).kind == "sum") ++sums;
+  }
+  std::printf("per iteration: %zu sub-matrix multiplications, %zu sub-vector additions\n",
+              mults / 2, sums / 2);
+  std::printf("(paper: \"9 sub-matrix sub-vector multiplications and 6 sub-vector additions\n"
+              " are necessary at each iteration\" — 6 counts the pairwise adds of the K=3\n"
+              " reductions; our %zu reduction tasks each sum 3 partials = 2 adds: %zu adds)\n",
+              sums / 2, 2 * (sums / 2));
+  return 0;
+}

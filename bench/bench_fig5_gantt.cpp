@@ -1,0 +1,131 @@
+// Figure 5 reproduction: Gantt charts of the two execution plans on a
+// 3-node scenario where each node can keep only ONE sub-matrix in memory.
+//
+//  (a) "Regular" plan  — FIFO order: every iteration loads 3 sub-matrices
+//      per node (6 loads per node for 2 iterations).
+//  (b) "Back and forth" — the data-aware local scheduler reorders the
+//      second iteration to start with the sub-matrix still in memory,
+//      saving one load per node per subsequent iteration (3+2 loads).
+//
+// This is a REAL run of the middleware (storage + hierarchical scheduler)
+// on generated binary-CSR files, not a simulation: the load counts come
+// from the storage layer's disk-read counters and the lanes from the
+// engine's execution trace.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "sched/engine.hpp"
+#include "solver/iterated_spmv.hpp"
+#include "spmv/generator.hpp"
+
+using namespace dooc;
+
+namespace {
+
+struct RunOutcome {
+  std::vector<std::string> lanes;       // one line per node
+  std::vector<std::uint64_t> loads_per_iteration;
+};
+
+RunOutcome run_plan(sched::LocalPolicy policy, const std::string& tag, bool barrier) {
+  const std::string scratch = std::filesystem::temp_directory_path() /
+                              ("dooc_fig5_" + tag + "_" + std::to_string(::getpid()));
+  storage::StorageConfig cfg;
+  cfg.scratch_root = scratch;
+  // Fig. 5's premise: "a node can keep only one sub-matrix at a time on its
+  // main memory". Sub-matrices below are ~11 MB, so 16 MB fits exactly one.
+  cfg.memory_budget = 16ull << 20;
+  storage::StorageCluster cluster(3, cfg);
+
+  // 3x3 grid; node u stores (and computes) row u, as in the paper's Gantt.
+  const std::uint64_t n = 3 * 2048;
+  auto m = spmv::generate_uniform_gap(n, n, 4.0, 0xf15);
+  const auto owner = spmv::row_strip_owner(3);
+  const auto deployed = spmv::deploy_matrix(cluster, m, 3, owner);
+
+  spmv::create_distributed_vector(cluster, deployed.grid, owner, "x", 0,
+                                  [](std::uint64_t i) { return 1.0 + 1e-6 * static_cast<double>(i); });
+
+  solver::IteratedSpmvConfig config;
+  config.iterations = 2;
+  config.mode = solver::ReductionMode::Interleaved;
+  config.inter_iteration_sync = barrier;
+  solver::IteratedSpmv driver(cluster, deployed, config);
+
+  sched::EngineConfig ecfg;
+  ecfg.local_policy = policy;
+  ecfg.prefetch_window = 0;  // Fig. 5's scenario has no room to read ahead
+  sched::Engine engine(cluster, ecfg);
+  const auto report = driver.run(engine);
+
+  RunOutcome out;
+  out.loads_per_iteration.assign(3, 0);
+  // Build lanes from the trace, ordered by start time.
+  std::vector<sched::TraceEvent> trace = report.trace;
+  std::sort(trace.begin(), trace.end(),
+            [](const sched::TraceEvent& a, const sched::TraceEvent& b) { return a.start < b.start; });
+  out.lanes.assign(3, "");
+  for (const auto& ev : trace) {
+    if (ev.kind == "sync") continue;
+    std::string cell = ev.name;
+    if (ev.kind == "multiply" && ev.missing_bytes >= (1 << 20)) {
+      // Only count real sub-matrix loads; a missing 16 KB vector part is
+      // network traffic, not a bold L(A) of Fig. 5.
+      // The matrix block had to be loaded first — the bold L(A_u_v) of Fig 5.
+      const auto& task = driver.graph().task(ev.task);
+      cell = "L(" + task.inputs[0].array + ")+" + cell;
+      const auto group = static_cast<std::size_t>(task.group);
+      if (group >= 1 && group <= out.loads_per_iteration.size()) {
+        ++out.loads_per_iteration[group - 1];
+      }
+    }
+    auto& lane = out.lanes[static_cast<std::size_t>(ev.node)];
+    lane += (lane.empty() ? "" : " | ") + cell;
+  }
+  std::filesystem::remove_all(scratch);
+  return out;
+}
+
+void print_outcome(const char* title, const RunOutcome& out) {
+  bench::section(title);
+  for (std::size_t node = 0; node < out.lanes.size(); ++node) {
+    std::printf("P%zu | %s\n", node + 1, out.lanes[node].c_str());
+  }
+  std::printf("\nmatrix-block loads: iteration 1 = %llu, iteration 2 = %llu (cluster total)\n",
+              static_cast<unsigned long long>(out.loads_per_iteration[0]),
+              static_cast<unsigned long long>(out.loads_per_iteration[1]));
+}
+
+}  // namespace
+
+int main() {
+  // With the inter-iteration barrier every second-iteration task becomes
+  // ready at once, so the local reordering is purely the policy's doing —
+  // the cleanest reproduction of the 3-loads vs 2-loads claim.
+  const auto regular = run_plan(sched::LocalPolicy::Fifo, "regular", true);
+  print_outcome("Fig. 5(a) — regular plan (FIFO local order)", regular);
+
+  const auto baf = run_plan(sched::LocalPolicy::DataAware, "baf", true);
+  print_outcome("Fig. 5(b) — back-and-forth plan (data-aware local order)", baf);
+
+  // Fig. 5(b) proper has no barrier at all: second-iteration multiplies
+  // interleave with first-iteration reductions (lanes show x^2 work between
+  // x^1 work); load counts get timing-dependent but stay below FIFO's.
+  const auto async = run_plan(sched::LocalPolicy::DataAware, "async", false);
+  print_outcome("fully asynchronous variant (no barrier, as drawn in Fig. 5(b))", async);
+
+  std::printf(
+      "\npaper: the regular plan performs 3 matrix loads per node per iteration;\n"
+      "the reordered plan performs 3 for the first and 2 for each subsequent\n"
+      "iteration — \"automatically discovered and executed by the DOoC middleware\n"
+      "without requiring any effort or input from the application programmer.\"\n");
+
+  const bool shape_holds = baf.loads_per_iteration[1] < regular.loads_per_iteration[1];
+  std::printf("\nreproduced: iteration-2 loads %llu (data-aware) < %llu (regular): %s\n",
+              static_cast<unsigned long long>(baf.loads_per_iteration[1]),
+              static_cast<unsigned long long>(regular.loads_per_iteration[1]),
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Figure 7 reproduction: CPU-hour cost of a single iteration — out-of-core
+// iterated SpMV on the SSD testbed (DES) vs in-core MFDn Lanczos on Hopper
+// (calibrated model) — including the paper's ★ point: the 3.5 TB matrix
+// solved on only 9 nodes at the best per-node bandwidth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perfmodel/hopper_model.hpp"
+#include "simcluster/testbed.hpp"
+
+using namespace dooc;
+
+int main() {
+  bench::section("Fig. 7 — CPU-hours per iteration: SSD testbed vs Hopper");
+
+  // SSD-testbed series (Table IV configuration).
+  bench::Table ssd({"series", "#nodes (cores)", "matrix", "CPU-h/iter paper", "CPU-h/iter"});
+  const double paper_ssd[] = {0.16, 0.74, 1.68, 3.84, 8.95, 18.20};
+  const int node_counts[] = {1, 4, 9, 16, 25, 36};
+  std::vector<double> ssd_cpuh;
+  for (int i = 0; i < 6; ++i) {
+    sim::TestbedExperiment e;
+    e.nodes = node_counts[i];
+    e.mode = solver::ReductionMode::Interleaved;
+    const auto r = sim::run_testbed(e);
+    ssd_cpuh.push_back(r.cpu_hours_per_iteration());
+    ssd.add_row({"SSD testbed", std::to_string(e.nodes) + " (" + std::to_string(8 * e.nodes) + ")",
+                 bench::fmt("%.2f TB", e.matrix_terabytes()), bench::fmt("%.2f", paper_ssd[i]),
+                 bench::fmt("%.2f", r.cpu_hours_per_iteration())});
+  }
+  ssd.print();
+  std::printf("\n");
+
+  // Hopper series (the four Table II cases).
+  bench::Table hopper({"series", "np", "matrix nnz", "CPU-h/iter paper", "CPU-h/iter"});
+  const auto model = perfmodel::HopperModel::calibrated();
+  const double paper_hopper[] = {0.19, 1.72, 9.70, 96.2};
+  int i = 0;
+  std::vector<double> hopper_cpuh;
+  for (const auto& c : perfmodel::hopper_reference()) {
+    const auto p = model.predict(c.dimension, c.nnz, c.np);
+    hopper_cpuh.push_back(p.cpu_hours_per_iter(c.np));
+    hopper.add_row({"Hopper (MFDn)", std::to_string(c.np), bench::fmt("%.2e", c.nnz),
+                    bench::fmt("%.2f", paper_hopper[i]),
+                    bench::fmt("%.2f", p.cpu_hours_per_iter(c.np))});
+    ++i;
+  }
+  hopper.print();
+
+  bench::section("the ★ run: 3.5 TB matrix on 9 nodes (best bandwidth per node)");
+  sim::TestbedExperiment base;
+  base.mode = solver::ReductionMode::Simple;
+  const auto star = sim::run_testbed_oversized(9, 36, base);
+  std::printf("time %.0f s (paper 1318 s, vs 1172 s on 36 nodes)\n", star.time_seconds());
+  std::printf("sustained read bandwidth %.1f GB/s (paper 12.5 GB/s)\n",
+              star.read_bandwidth() / 1e9);
+  std::printf("CPU-hours per iteration %.2f (paper 6.59)\n", star.cpu_hours_per_iteration());
+
+  bench::section("the paper's comparison points");
+  std::printf("9-node out-of-core %.2f CPU-h/iter vs test1128 in-core %.2f — comparable\n",
+              ssd_cpuh[2], hopper_cpuh[1]);
+  std::printf("36-node out-of-core %.2f CPU-h/iter vs test4560 in-core %.2f — worse (plateau)\n",
+              [&] {
+                sim::TestbedExperiment e;
+                e.nodes = 36;
+                e.mode = solver::ReductionMode::Interleaved;
+                return sim::run_testbed(e).cpu_hours_per_iteration();
+              }(),
+              hopper_cpuh[2]);
+  const double star_cpuh = star.cpu_hours_per_iteration();
+  std::printf("star  9-node/3.5TB %.2f CPU-h/iter vs test4560 in-core %.2f — %s by %.0f%%\n",
+              star_cpuh, hopper_cpuh[2], star_cpuh < hopper_cpuh[2] ? "CHEAPER" : "worse",
+              (1.0 - star_cpuh / hopper_cpuh[2]) * 100.0);
+  std::printf("(paper: 6.59 vs 9.70 CPU-hours, \"significantly (32%%) less\")\n");
+  return star_cpuh < hopper_cpuh[2] ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks of the hot primitives: the CSR SpMV
+// kernel (serial and split), the reduction, binary-CSR (de)serialization,
+// storage read/write round-trips, and the DES flow-network rate solver.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "simcluster/flow_network.hpp"
+#include "spmv/generator.hpp"
+#include "spmv/kernels.hpp"
+#include "storage/storage_cluster.hpp"
+
+namespace {
+
+using namespace dooc;
+
+const spmv::CsrMatrix& test_matrix() {
+  static const spmv::CsrMatrix m = spmv::generate_uniform_gap(8192, 8192, 4.0, 0xbe9c);
+  return m;
+}
+
+const std::vector<std::byte>& test_matrix_bytes() {
+  static const std::vector<std::byte> bytes = [] {
+    std::vector<std::byte> b;
+    spmv::serialize_csr(test_matrix(), b);
+    return b;
+  }();
+  return bytes;
+}
+
+void BM_SpmvSerial(benchmark::State& state) {
+  const auto view = spmv::CsrView::from_bytes(test_matrix_bytes());
+  std::vector<double> x(view.cols(), 1.0), y(view.rows());
+  for (auto _ : state) {
+    view.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.nnz()));
+}
+BENCHMARK(BM_SpmvSerial);
+
+void BM_SpmvSplit(benchmark::State& state) {
+  const auto view = spmv::CsrView::from_bytes(test_matrix_bytes());
+  std::vector<double> x(view.cols(), 1.0), y(view.rows());
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    spmv::multiply_parallel(view, x, y, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.nnz()));
+}
+BENCHMARK(BM_SpmvSplit)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SumVectors(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const auto parts_count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> storage_parts(parts_count, std::vector<double>(n, 1.0));
+  std::vector<std::span<const double>> parts(storage_parts.begin(), storage_parts.end());
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    spmv::sum_vectors(parts, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8 * (parts_count + 1)));
+}
+BENCHMARK(BM_SumVectors)->Arg(3)->Arg(5)->Arg(25);
+
+void BM_CsrParse(benchmark::State& state) {
+  const auto& bytes = test_matrix_bytes();
+  for (auto _ : state) {
+    auto view = spmv::CsrView::from_bytes(bytes);
+    benchmark::DoNotOptimize(view.nnz());
+  }
+}
+BENCHMARK(BM_CsrParse);
+
+void BM_CsrSerialize(benchmark::State& state) {
+  const auto& m = test_matrix();
+  for (auto _ : state) {
+    std::vector<std::byte> out;
+    spmv::serialize_csr(m, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.serialized_bytes()));
+}
+BENCHMARK(BM_CsrSerialize);
+
+void BM_StorageWriteSealRead(benchmark::State& state) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("dooc_bm_" + std::to_string(::getpid())))
+                              .string();
+  storage::StorageConfig cfg;
+  cfg.scratch_root = dir;
+  cfg.memory_budget = 1ull << 30;
+  storage::StorageCluster cluster(1, cfg);
+  auto& node = cluster.node(0);
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    const std::string name = "bm" + std::to_string(counter++);
+    node.create_array(name, bytes, bytes);
+    {
+      auto w = node.request_write({name, 0, bytes}).get();
+      w.bytes()[0] = std::byte{1};
+    }
+    {
+      auto r = node.request_read({name, 0, bytes}).get();
+      benchmark::DoNotOptimize(r.bytes().data());
+    }
+    node.delete_array(name);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StorageWriteSealRead)->Arg(4096)->Arg(1 << 20);
+
+void BM_FlowNetworkRecompute(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  sim::FlowNetwork net;
+  const auto agg = net.add_resource("agg", 1e9);
+  std::vector<sim::ResourceId> links;
+  for (int i = 0; i < 36; ++i) links.push_back(net.add_resource("l" + std::to_string(i), 1e8));
+  SplitMix64 rng(3);
+  for (int i = 0; i < flows; ++i) {
+    net.start_flow(1ull << 40, {links[rng.next_below(36)], agg}, 9e7);
+  }
+  for (auto _ : state) {
+    net.recompute_rates();
+    benchmark::DoNotOptimize(net.active_flows());
+  }
+}
+BENCHMARK(BM_FlowNetworkRecompute)->Arg(8)->Arg(72);
+
+}  // namespace
+
+BENCHMARK_MAIN();

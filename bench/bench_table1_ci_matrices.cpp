@@ -1,0 +1,80 @@
+// Table I reproduction: matrix dimensions D and non-zero counts of the 10B
+// Hamiltonian at the paper's (Nmax, Mj) truncations, plus the derived
+// processor counts and local sizes.
+//
+// D is computed *exactly* by the M-scheme counting DP (ci/mscheme.hpp);
+// nnz is estimated by the random-walk connectivity sampler (exact nnz for
+// D ~ 1e8 bases would require the full enumeration the paper's authors ran
+// on production hardware). n_p and the local sizes come from the
+// calibrated MFDn memory model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ci/hamiltonian.hpp"
+#include "ci/mscheme.hpp"
+#include "common/stats.hpp"
+#include "perfmodel/hopper_model.hpp"
+
+using namespace dooc;
+
+int main() {
+  bench::section("Table I — 10B CI matrices: paper vs this reproduction");
+
+  struct Case {
+    int nmax;
+    int mj;
+    double paper_d;
+    double paper_nnz;
+    int paper_np;
+    double paper_vlocal_mb;
+    double paper_hlocal_mb;
+  };
+  const Case cases[] = {
+      {7, 0, 4.66e7, 2.81e10, 276, 8.8, 880},
+      {8, 1, 1.60e8, 1.24e11, 1128, 13.6, 880},
+      {9, 2, 4.82e8, 4.62e11, 4560, 20.4, 800},
+      {10, 3, 1.30e9, 1.51e12, 18336, 27.2, 750},
+  };
+
+  // MFDn stores (and Table I counts) the *half* of the symmetric matrix;
+  // the sampler estimates full-matrix non-zeros, so both are shown.
+  bench::Table table({"(Nmax,Mj)", "D paper", "D exact (DP)", "nnz paper", "nnz est.(half)",
+                      "np paper", "np model", "v_local", "H_local"});
+  for (const auto& c : cases) {
+    const ci::NucleusConfig config{5, 5, c.nmax, 2 * c.mj};
+    const auto d = ci::basis_dimension(config);
+    // Connectivity sampling: enough samples for a stable order of magnitude.
+    const auto conn = ci::estimate_connectivity(config, 60, 0x7ab1e1);
+    const double half_nnz = static_cast<double>(conn.estimated_nnz) / 2.0;
+    const int np = perfmodel::HopperModel::min_processors(half_nnz);
+    const double vlocal = perfmodel::HopperModel::local_vector_bytes(
+        static_cast<double>(d), c.paper_np);
+    const double hlocal = perfmodel::HopperModel::local_matrix_bytes(c.paper_nnz, c.paper_np);
+    table.add_row({"(" + std::to_string(c.nmax) + "," + std::to_string(c.mj) + ")",
+                   bench::fmt("%.2e", c.paper_d), bench::fmt("%.3e", static_cast<double>(d)),
+                   bench::fmt("%.2e", c.paper_nnz),
+                   bench::fmt("%.1e", half_nnz),
+                   std::to_string(c.paper_np), std::to_string(np),
+                   format_bytes(vlocal), format_bytes(hlocal)});
+  }
+  table.print();
+
+  bench::section("exact small-system cross-checks (enumeration == DP)");
+  bench::Table small({"system", "D (DP)", "D (enum)", "nnz exact", "avg row nnz"});
+  const ci::NucleusConfig smalls[] = {{2, 2, 2, 0}, {2, 2, 4, 0}, {3, 3, 2, 0}};
+  for (const auto& c : smalls) {
+    const auto d = ci::basis_dimension(c);
+    const auto stats = ci::hamiltonian_pattern_stats(c, 500'000);
+    small.add_row({std::to_string(c.protons) + "p" + std::to_string(c.neutrons) + "n Nmax=" +
+                       std::to_string(c.nmax),
+                   std::to_string(d), std::to_string(stats.dimension), std::to_string(stats.nnz),
+                   bench::fmt("%.1f", stats.avg_row_nnz)});
+  }
+  small.print();
+
+  std::printf(
+      "\nNote: the paper's D column is reproduced essentially exactly by the counting DP.\n"
+      "nnz uses a biased random-walk estimate (documented in DESIGN.md); the paper's own\n"
+      "testbed experiments use synthetic uniform-gap matrices, not these counts.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table III + Fig. 6(a) reproduction: iterated SpMV on the (modeled) SSD
+// testbed under the simple scheduling policy — all local SpMVs first, then
+// partial results reduced on the first processor of each row, with global
+// synchronizations after each phase.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "simcluster/testbed.hpp"
+
+using namespace dooc;
+
+int main() {
+  bench::section("Table III — SSD testbed, simple scheduling policy (DES) vs paper");
+
+  struct PaperRow {
+    int nodes;
+    double time, gflops, bw, nonovl;
+  };
+  const PaperRow paper[] = {
+      {1, 290, 0.35, 1.5, 0.13},  {4, 330, 1.24, 5.7, 0.19},  {9, 384, 2.40, 12.8, 0.30},
+      {16, 509, 3.22, 18.7, 0.36}, {25, 791, 3.23, 17.9, 0.32}, {36, 1172, 3.15, 18.3, 0.36},
+  };
+
+  bench::Table table({"#nodes", "dim", "nnz", "size", "time paper", "time", "GF/s paper", "GF/s",
+                      "BW paper", "BW", "non-ovl paper", "non-ovl"});
+  std::vector<sim::TestbedResult> results;
+  for (const auto& row : paper) {
+    sim::TestbedExperiment e;
+    e.nodes = row.nodes;
+    e.mode = solver::ReductionMode::Simple;
+    const auto r = sim::run_testbed(e);
+    results.push_back(r);
+    table.add_row({std::to_string(row.nodes),
+                   format_count(static_cast<double>(e.matrix_dimension())),
+                   format_count(e.total_nnz()), bench::fmt("%.2f TB", e.matrix_terabytes()),
+                   bench::fmt("%.0f s", row.time), bench::fmt("%.0f s", r.time_seconds()),
+                   bench::fmt("%.2f", row.gflops), bench::fmt("%.2f", r.gflops()),
+                   bench::fmt("%.1f GB/s", row.bw), bench::fmt("%.1f GB/s", r.read_bandwidth() / 1e9),
+                   bench::fmt("%.0f%%", row.nonovl * 100),
+                   bench::fmt("%.0f%%", r.non_overlapped() * 100)});
+  }
+  table.print();
+
+  bench::section("Fig. 6(a) — runtime relative to optimal I/O time at 20 GB/s peak");
+  bench::Table fig6({"#nodes", "optimal I/O", "runtime", "ratio"});
+  for (const auto& r : results) {
+    fig6.add_row({std::to_string(r.experiment.nodes), bench::fmt("%.0f s", r.optimal_io_seconds()),
+                  bench::fmt("%.0f s", r.time_seconds()),
+                  bench::fmt("%.2f", r.relative_to_optimal_io())});
+  }
+  fig6.print();
+  std::printf("\nshape check: near-linear GFlop/s to 9 nodes, then the ~18.5 GB/s GPFS\n"
+              "aggregate plateau; the 20%%-36%% non-overlapped fractions come from the\n"
+              "post-SpMV synchronization and the unaggregated partial-vector traffic.\n");
+  return 0;
+}

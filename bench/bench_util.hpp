@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches: aligned table printing and
+// the paper's reference numbers for side-by-side output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dooc::bench {
+
+/// Fixed-width table printer: feed rows of cells, print with padding.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::fprintf(out, "%-*s  ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::fprintf(out, "\n");
+    };
+    line(header_);
+    std::vector<std::string> rule;
+    for (std::size_t c = 0; c < width.size(); ++c) rule.push_back(std::string(width[c], '-'));
+    line(rule);
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline void section(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace dooc::bench

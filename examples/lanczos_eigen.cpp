@@ -1,0 +1,93 @@
+// Out-of-core eigensolver for a real CI Hamiltonian — the computation the
+// paper's middleware was built for (§II), end to end:
+//
+//  1. build the M-scheme basis of a small nucleus and its sparse 2-body
+//     Hamiltonian (ci/),
+//  2. deploy it as a grid of binary-CSR files across a virtual DOoC
+//     cluster with a deliberately small memory budget (the matrix cannot
+//     stay resident — every Lanczos matvec streams it from "disk"),
+//  3. run Lanczos with full reorthogonalization; the Lanczos basis itself
+//     is flushed to scratch files and re-streamed for reorthogonalization,
+//  4. report the lowest eigenvalues ("energies") and residuals.
+//
+// Run:  ./lanczos_eigen [--protons=2 --neutrons=2 --nmax=2 --two-mj=0]
+//                       [--eigenvalues=4] [--nodes=2] [--budget-kb=256]
+#include <cstdio>
+#include <filesystem>
+
+#include "ci/hamiltonian.hpp"
+#include "common/options.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "solver/krylov.hpp"
+#include "spmv/generator.hpp"
+
+using namespace dooc;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  ci::NucleusConfig nucleus;
+  nucleus.protons = static_cast<int>(opts.get_int("protons", 2));
+  nucleus.neutrons = static_cast<int>(opts.get_int("neutrons", 2));
+  nucleus.nmax = static_cast<int>(opts.get_int("nmax", 2));
+  nucleus.two_mj = static_cast<int>(opts.get_int("two-mj", 0));
+  const int wanted = static_cast<int>(opts.get_int("eigenvalues", 4));
+  const int nodes = static_cast<int>(opts.get_int("nodes", 2));
+  const auto budget = static_cast<std::uint64_t>(opts.get_int("budget-kb", 256)) << 10;
+
+  std::printf("nucleus: Z=%d N=%d, Nmax=%d, 2Mj=%d\n", nucleus.protons, nucleus.neutrons,
+              nucleus.nmax, nucleus.two_mj);
+  const auto dim = ci::basis_dimension(nucleus);
+  std::printf("M-scheme basis dimension D = %llu (exact, via counting DP)\n",
+              static_cast<unsigned long long>(dim));
+
+  Stopwatch build_clock;
+  const auto h = ci::build_hamiltonian(nucleus);
+  std::printf("Hamiltonian: %llu x %llu, %llu non-zeros (%.1f per row), built in %s\n",
+              static_cast<unsigned long long>(h.rows), static_cast<unsigned long long>(h.cols),
+              static_cast<unsigned long long>(h.nnz()),
+              static_cast<double>(h.nnz()) / static_cast<double>(h.rows),
+              format_duration(build_clock.seconds()).c_str());
+
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / ("dooc_lanczos_" + std::to_string(::getpid())))
+          .string();
+  storage::StorageConfig cfg;
+  cfg.scratch_root = scratch;
+  cfg.memory_budget = budget;
+  storage::StorageCluster cluster(nodes, cfg);
+
+  const int k = std::max(2, std::min<int>(4, static_cast<int>(h.rows / 8)));
+  const auto owner = spmv::column_strip_owner(nodes);
+  const auto deployed = spmv::deploy_matrix(cluster, h, k, owner, "H");
+  std::printf("deployed as a %dx%d grid over %d nodes, %s per node budget (matrix is %s)\n", k,
+              k, nodes, format_bytes(static_cast<double>(budget)).c_str(),
+              format_bytes(static_cast<double>(deployed.total_bytes())).c_str());
+
+  sched::Engine engine(cluster, {});
+  solver::LanczosOptions lopts;
+  lopts.max_iterations = static_cast<int>(opts.get_int("max-iterations", 80));
+  lopts.num_eigenvalues = wanted;
+  lopts.tolerance = opts.get_double("tolerance", 1e-8);
+  solver::Lanczos lanczos(cluster, deployed, engine, lopts);
+
+  Stopwatch solve_clock;
+  const auto result = lanczos.run();
+  std::printf("\nLanczos: %d iterations in %s (%s)\n", result.iterations,
+              format_duration(solve_clock.seconds()).c_str(),
+              result.converged ? "converged" : "NOT converged");
+  std::printf("%-6s %-16s %-12s\n", "k", "energy (hw)", "residual");
+  for (std::size_t i = 0; i < result.eigenvalues.size(); ++i) {
+    std::printf("%-6zu %-16.8f %-12.2e\n", i, result.eigenvalues[i], result.residuals[i]);
+  }
+
+  const auto stats = cluster.total_stats();
+  std::printf("\nout-of-core traffic: %llu disk reads (%s), %llu disk writes, %llu evictions\n",
+              static_cast<unsigned long long>(stats.disk_reads),
+              format_bytes(static_cast<double>(stats.disk_read_bytes)).c_str(),
+              static_cast<unsigned long long>(stats.disk_writes),
+              static_cast<unsigned long long>(stats.evictions));
+
+  std::filesystem::remove_all(scratch);
+  return result.converged ? 0 : 1;
+}

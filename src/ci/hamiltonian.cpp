@@ -1,0 +1,405 @@
+#include "ci/hamiltonian.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dooc::ci {
+
+namespace {
+
+/// Occupancy view of one determinant with O(1) membership tests.
+struct Occupancy {
+  std::vector<char> proton;  // indexed by sp-state
+  std::vector<char> neutron;
+  int quanta = 0;
+
+  Occupancy(const HoBasis& basis, const Determinant& det)
+      : proton(basis.num_states(), 0), neutron(basis.num_states(), 0) {
+    for (auto s : det.proton_states) {
+      proton[s] = 1;
+      quanta += basis.states()[s].quanta();
+    }
+    for (auto s : det.neutron_states) {
+      neutron[s] = 1;
+      quanta += basis.states()[s].quanta();
+    }
+  }
+};
+
+std::uint64_t det_hash(const Determinant& d) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  for (auto s : d.proton_states) mix(s + 1);
+  mix(0xffff);
+  for (auto s : d.neutron_states) mix(s + 1);
+  return h;
+}
+
+struct DetHasher {
+  std::size_t operator()(const Determinant& d) const { return det_hash(d); }
+};
+
+/// Pre-indexed move tables for one basis: same-species target pairs grouped
+/// by total 2m, and all states grouped by 2m (for singles).
+struct MoveTables {
+  const HoBasis& basis;
+  // singles: states sharing the same 2m value.
+  std::unordered_map<int, std::vector<std::uint16_t>> by_m;
+  // pairs (s1 < s2) keyed by 2m sum.
+  std::unordered_map<int, std::vector<std::pair<std::uint16_t, std::uint16_t>>> pairs_by_m;
+
+  explicit MoveTables(const HoBasis& b) : basis(b) {
+    const auto& states = b.states();
+    for (std::uint16_t s = 0; s < states.size(); ++s) {
+      by_m[states[s].twomj].push_back(s);
+    }
+    for (std::uint16_t s1 = 0; s1 < states.size(); ++s1) {
+      for (std::uint16_t s2 = s1 + 1; s2 < states.size(); ++s2) {
+        pairs_by_m[states[s1].twomj + states[s2].twomj].emplace_back(s1, s2);
+      }
+    }
+  }
+};
+
+/// Apply a same-species replacement, returning the new sorted occupation.
+std::vector<std::uint16_t> replace(const std::vector<std::uint16_t>& occ,
+                                   std::initializer_list<std::uint16_t> remove,
+                                   std::initializer_list<std::uint16_t> add) {
+  std::vector<std::uint16_t> out;
+  out.reserve(occ.size());
+  for (auto s : occ) {
+    if (std::find(remove.begin(), remove.end(), s) == remove.end()) out.push_back(s);
+  }
+  out.insert(out.end(), add.begin(), add.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Enumerate every determinant connected to `det` by a 2-body interaction
+/// (≤ 2 single-particle differences) within the basis constraints; the
+/// diagonal is NOT included. Each connected determinant is visited once.
+template <typename Sink>
+void for_each_connected(const HoBasis& basis, const MoveTables& moves, const NucleusConfig& config,
+                        const Determinant& det, Sink&& sink) {
+  const int max_total = config.n0() + config.nmax;
+  const Occupancy occ(basis, det);
+  const auto& states = basis.states();
+
+  auto q_of = [&](std::uint16_t s) { return states[s].quanta(); };
+
+  // ---- species-local singles: a -> b with m_b == m_a, Δq even ----------
+  auto singles = [&](const std::vector<std::uint16_t>& from, const std::vector<char>& occupied,
+                     bool is_proton) {
+    for (auto a : from) {
+      const auto it = moves.by_m.find(states[a].twomj);
+      if (it == moves.by_m.end()) continue;
+      for (auto b : it->second) {
+        if (occupied[b] || ((q_of(b) - q_of(a)) % 2) != 0) continue;
+        if (occ.quanta - q_of(a) + q_of(b) > max_total) continue;
+        Determinant next;
+        if (is_proton) {
+          next.proton_states = replace(det.proton_states, {a}, {b});
+          next.neutron_states = det.neutron_states;
+        } else {
+          next.proton_states = det.proton_states;
+          next.neutron_states = replace(det.neutron_states, {a}, {b});
+        }
+        sink(std::move(next));
+      }
+    }
+  };
+  singles(det.proton_states, occ.proton, true);
+  singles(det.neutron_states, occ.neutron, false);
+
+  // ---- species-local doubles: {a1,a2} -> {b1,b2}, Σm equal, Δq even -----
+  auto doubles = [&](const std::vector<std::uint16_t>& from, const std::vector<char>& occupied,
+                     bool is_proton) {
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      for (std::size_t j = i + 1; j < from.size(); ++j) {
+        const auto a1 = from[i];
+        const auto a2 = from[j];
+        const int msum = states[a1].twomj + states[a2].twomj;
+        const int qrem = q_of(a1) + q_of(a2);
+        const auto it = moves.pairs_by_m.find(msum);
+        if (it == moves.pairs_by_m.end()) continue;
+        for (const auto& [b1, b2] : it->second) {
+          if (occupied[b1] || occupied[b2]) continue;
+          const int qadd = q_of(b1) + q_of(b2);
+          if (((qadd - qrem) % 2) != 0) continue;
+          if (occ.quanta - qrem + qadd > max_total) continue;
+          Determinant next;
+          if (is_proton) {
+            next.proton_states = replace(from, {a1, a2}, {b1, b2});
+            next.neutron_states = det.neutron_states;
+          } else {
+            next.proton_states = det.proton_states;
+            next.neutron_states = replace(from, {a1, a2}, {b1, b2});
+          }
+          sink(std::move(next));
+        }
+      }
+    }
+  };
+  doubles(det.proton_states, occ.proton, true);
+  doubles(det.neutron_states, occ.neutron, false);
+
+  // ---- cross-species doubles: proton a1->b1, neutron a2->b2 -------------
+  // Constraint: Δm_p + Δm_n = 0 and total Δq even, budget respected.
+  for (auto a1 : det.proton_states) {
+    // Enumerate proton replacements with ANY Δm, then match neutrons.
+    for (std::uint16_t b1 = 0; b1 < states.size(); ++b1) {
+      if (occ.proton[b1] || b1 == a1) continue;
+      const int dm = states[b1].twomj - states[a1].twomj;
+      const int dqp = q_of(b1) - q_of(a1);
+      for (auto a2 : det.neutron_states) {
+        const int want_m = states[a2].twomj - dm;
+        const auto it = moves.by_m.find(want_m);
+        if (it == moves.by_m.end()) continue;
+        for (auto b2 : it->second) {
+          if (occ.neutron[b2]) continue;
+          const int dq = dqp + q_of(b2) - q_of(a2);
+          if ((dq % 2) != 0) continue;
+          if (occ.quanta + dq > max_total) continue;
+          Determinant next;
+          next.proton_states = replace(det.proton_states, {a1}, {b1});
+          next.neutron_states = replace(det.neutron_states, {a2}, {b2});
+          sink(std::move(next));
+        }
+      }
+    }
+  }
+}
+
+/// Deterministic symmetric pseudo-random coupling between two determinants.
+double coupling_value(const Determinant& a, const Determinant& b) {
+  const std::uint64_t ha = det_hash(a);
+  const std::uint64_t hb = det_hash(b);
+  SplitMix64 rng((ha ^ hb) + (ha + hb) * 0x9e3779b97f4a7c15ull);
+  return (rng.next_double() - 0.5) * 0.2;
+}
+
+double diagonal_value(const HoBasis& basis, const Determinant& d) {
+  // HO single-particle energies (N + 3/2 each, in units of ħΩ) plus a small
+  // deterministic shift so degenerate configurations split.
+  const double e = static_cast<double>(determinant_quanta(basis, d)) +
+                   1.5 * static_cast<double>(d.proton_states.size() + d.neutron_states.size());
+  SplitMix64 rng(det_hash(d));
+  return e + 0.05 * (rng.next_double() - 0.5);
+}
+
+}  // namespace
+
+spmv::CsrMatrix build_hamiltonian(const NucleusConfig& config, std::uint64_t enumeration_limit,
+                                  std::uint64_t value_seed) {
+  (void)value_seed;  // values are derived from determinant hashes
+  const HoBasis basis(config.max_shell());
+  const MoveTables moves(basis);
+  const auto dets = enumerate_basis(config, enumeration_limit);
+  const std::uint64_t n = dets.size();
+
+  std::unordered_map<Determinant, std::uint32_t, DetHasher> index;
+  index.reserve(n * 2);
+  for (std::uint32_t i = 0; i < n; ++i) index.emplace(dets[i], i);
+
+  spmv::CsrMatrix m;
+  m.rows = n;
+  m.cols = n;
+  m.row_ptr.reserve(n + 1);
+  m.row_ptr.push_back(0);
+  std::vector<std::pair<std::uint32_t, double>> row;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row.clear();
+    row.emplace_back(i, diagonal_value(basis, dets[i]));
+    for_each_connected(basis, moves, config, dets[i], [&](Determinant next) {
+      const auto it = index.find(next);
+      DOOC_CHECK(it != index.end(), "connected determinant missing from the basis");
+      row.emplace_back(it->second, coupling_value(dets[i], next));
+    });
+    std::sort(row.begin(), row.end());
+    for (const auto& [col, val] : row) {
+      m.col_idx.push_back(col);
+      m.values.push_back(val);
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+HamiltonianStats hamiltonian_pattern_stats(const NucleusConfig& config,
+                                           std::uint64_t enumeration_limit) {
+  const HoBasis basis(config.max_shell());
+  const MoveTables moves(basis);
+  const auto dets = enumerate_basis(config, enumeration_limit);
+  HamiltonianStats stats;
+  stats.dimension = dets.size();
+  for (const auto& det : dets) {
+    std::uint64_t row = 1;  // diagonal
+    for_each_connected(basis, moves, config, det, [&](Determinant&&) { ++row; });
+    stats.nnz += row;
+  }
+  stats.avg_row_nnz =
+      stats.dimension == 0 ? 0.0
+                           : static_cast<double>(stats.nnz) / static_cast<double>(stats.dimension);
+  return stats;
+}
+
+std::uint64_t row_connectivity(const HoBasis& basis, const NucleusConfig& config,
+                               const Determinant& det) {
+  const MoveTables moves(basis);
+  std::uint64_t count = 1;
+  for_each_connected(basis, moves, config, det, [&](Determinant&&) { ++count; });
+  return count;
+}
+
+namespace {
+
+/// Heuristically construct one valid determinant: random low-shell filling,
+/// then zero-cost same-orbital m swaps to repair M_j, then parity repair.
+Determinant find_valid_determinant(const NucleusConfig& config, SplitMix64& rng) {
+  const HoBasis basis(config.max_shell());
+  const auto& states = basis.states();
+  const int max_total = config.n0() + config.nmax;
+  const int want_parity = (config.n0() + config.nmax) % 2;
+
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    auto pick_species = [&](int count) {
+      std::vector<std::uint16_t> occ;
+      std::vector<char> used(states.size(), 0);
+      // Bias toward low shells: consider the first L states where L grows
+      // with the attempt number, so early attempts are near the ground state.
+      const std::size_t window =
+          std::min(states.size(), static_cast<std::size_t>(4 * count + attempt % 32));
+      int guard = 0;
+      while (static_cast<int>(occ.size()) < count && guard++ < 4096) {
+        const auto s = static_cast<std::uint16_t>(rng.next_below(window));
+        if (!used[s]) {
+          used[s] = 1;
+          occ.push_back(s);
+        }
+      }
+      std::sort(occ.begin(), occ.end());
+      return occ;
+    };
+    Determinant det;
+    det.proton_states = pick_species(config.protons);
+    det.neutron_states = pick_species(config.neutrons);
+    if (static_cast<int>(det.proton_states.size()) != config.protons ||
+        static_cast<int>(det.neutron_states.size()) != config.neutrons) {
+      continue;
+    }
+    if (determinant_quanta(basis, det) > max_total) continue;
+
+    // Repair M with zero-quanta same-orbital swaps.
+    for (int step = 0; step < 512; ++step) {
+      const int dm = config.two_mj - determinant_twom(basis, det);
+      if (dm == 0) break;
+      bool moved = false;
+      auto try_repair = [&](std::vector<std::uint16_t>& occ, const std::vector<char>& /*unused*/) {
+        std::vector<char> used(states.size(), 0);
+        for (auto s : occ) used[s] = 1;
+        for (auto& s : occ) {
+          const auto& st = states[s];
+          for (std::uint16_t t = 0; t < states.size(); ++t) {
+            if (used[t]) continue;
+            const auto& tt = states[t];
+            if (tt.orbital_index != st.orbital_index) continue;
+            const int step_dm = tt.twomj - st.twomj;
+            if ((dm > 0 && step_dm > 0 && step_dm <= dm) ||
+                (dm < 0 && step_dm < 0 && step_dm >= dm)) {
+              s = t;
+              moved = true;
+              return;
+            }
+          }
+        }
+      };
+      try_repair(det.proton_states, {});
+      if (!moved) try_repair(det.neutron_states, {});
+      if (moved) {
+        std::sort(det.proton_states.begin(), det.proton_states.end());
+        std::sort(det.neutron_states.begin(), det.neutron_states.end());
+      } else {
+        break;
+      }
+    }
+    if (determinant_twom(basis, det) != config.two_mj) continue;
+
+    // Repair parity with an m-preserving single promotion of odd Δq.
+    if (determinant_quanta(basis, det) % 2 != want_parity) {
+      bool fixed = false;
+      std::vector<char> usedp(states.size(), 0), usedn(states.size(), 0);
+      for (auto s : det.proton_states) usedp[s] = 1;
+      for (auto s : det.neutron_states) usedn[s] = 1;
+      auto fix = [&](std::vector<std::uint16_t>& occ, std::vector<char>& used) {
+        for (auto& s : occ) {
+          for (std::uint16_t t = 0; t < states.size(); ++t) {
+            if (used[t] || states[t].twomj != states[s].twomj) continue;
+            const int dq = states[t].quanta() - states[s].quanta();
+            if (dq % 2 == 0) continue;
+            const int new_total = determinant_quanta(basis, det) + dq;
+            if (new_total > max_total || new_total < 0) continue;
+            used[s] = 0;
+            used[t] = 1;
+            s = t;
+            fixed = true;
+            return;
+          }
+        }
+      };
+      fix(det.proton_states, usedp);
+      if (!fixed) fix(det.neutron_states, usedn);
+      std::sort(det.proton_states.begin(), det.proton_states.end());
+      std::sort(det.neutron_states.begin(), det.neutron_states.end());
+      if (!fixed) continue;
+    }
+    if (determinant_quanta(basis, det) % 2 != want_parity ||
+        determinant_quanta(basis, det) > max_total ||
+        determinant_twom(basis, det) != config.two_mj) {
+      continue;
+    }
+    return det;
+  }
+  throw InternalError("could not construct a valid determinant for the nucleus");
+}
+
+}  // namespace
+
+ConnectivityEstimate estimate_connectivity(const NucleusConfig& config, int samples,
+                                           std::uint64_t seed) {
+  DOOC_REQUIRE(samples > 0, "need a positive sample count");
+  const HoBasis basis(config.max_shell());
+  const MoveTables moves(basis);
+  SplitMix64 rng(seed);
+  Determinant current = find_valid_determinant(config, rng);
+
+  // A uniform random walk over the connectivity graph has stationary
+  // distribution proportional to the degree, so naive averaging would
+  // overestimate the mean degree. Correct with importance weights 1/deg:
+  //   <deg>_uniform ≈ n / Σ (1/deg_i)   (harmonic-mean estimator).
+  double inv_degree_sum = 0.0;
+  int counted = 0;
+  for (int i = 0; i < samples; ++i) {
+    std::vector<Determinant> neighbours;
+    for_each_connected(basis, moves, config, current,
+                       [&](Determinant next) { neighbours.push_back(std::move(next)); });
+    if (!neighbours.empty()) {
+      inv_degree_sum += 1.0 / static_cast<double>(neighbours.size());
+      ++counted;
+      current = neighbours[rng.next_below(neighbours.size())];
+    }
+  }
+  ConnectivityEstimate est;
+  est.samples = samples;
+  const double avg_degree = counted > 0 ? static_cast<double>(counted) / inv_degree_sum : 0.0;
+  est.avg_row_nnz = avg_degree + 1.0;  // + diagonal
+  est.estimated_nnz =
+      static_cast<std::uint64_t>(est.avg_row_nnz * static_cast<double>(basis_dimension(config)));
+  return est;
+}
+
+}  // namespace dooc::ci

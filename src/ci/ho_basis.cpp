@@ -1,0 +1,52 @@
+#include "ci/ho_basis.hpp"
+
+#include "common/error.hpp"
+
+namespace dooc::ci {
+
+std::string Orbital::label() const {
+  static const char* spect = "spdfghiklmnoq";
+  std::string s = std::to_string(n);
+  s += l < 13 ? spect[l] : '?';
+  s += std::to_string(twoj);
+  s += "/2";
+  return s;
+}
+
+HoBasis::HoBasis(int max_shell) : max_shell_(max_shell) {
+  DOOC_REQUIRE(max_shell >= 0 && max_shell <= 24, "HO shell cutoff out of supported range");
+  for (int shell = 0; shell <= max_shell; ++shell) {
+    // l runs down from N in steps of 2 (n = (N - l) / 2).
+    for (int l = shell % 2; l <= shell; l += 2) {
+      const int n = (shell - l) / 2;
+      for (int twoj = std::abs(2 * l - 1); twoj <= 2 * l + 1; twoj += 2) {
+        orbitals_.push_back(Orbital{n, l, twoj});
+        const int orbital_index = static_cast<int>(orbitals_.size()) - 1;
+        for (int twomj = -twoj; twomj <= twoj; twomj += 2) {
+          states_.push_back(SpState{orbital_index, n, l, twoj, twomj});
+        }
+      }
+    }
+  }
+}
+
+int HoBasis::states_up_to_shell(int shell) noexcept {
+  int total = 0;
+  for (int s = 0; s <= shell; ++s) total += states_in_shell(s);
+  return total;
+}
+
+int minimal_quanta(int particles) {
+  DOOC_REQUIRE(particles >= 0, "negative particle count");
+  int remaining = particles;
+  int quanta = 0;
+  for (int shell = 0; remaining > 0; ++shell) {
+    const int capacity = HoBasis::states_in_shell(shell);
+    const int put = std::min(remaining, capacity);
+    quanta += put * shell;
+    remaining -= put;
+  }
+  return quanta;
+}
+
+}  // namespace dooc::ci

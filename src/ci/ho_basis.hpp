@@ -1,0 +1,69 @@
+// Harmonic-oscillator single-particle basis for the Configuration
+// Interaction (CI) model of §II.
+//
+// A single-particle state carries the HO quantum numbers (n, l, j, m_j):
+// n radial, l orbital, j = l ± 1/2 total angular momentum (stored as 2j to
+// stay integral), and projection m_j (stored as 2m_j). Its energy quanta
+// are N = 2n + l; shell N holds (N+1)(N+2) states per nucleon species.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dooc::ci {
+
+/// An HO orbital (n, l, j); expands into 2j+1 m-states.
+struct Orbital {
+  int n = 0;
+  int l = 0;
+  int twoj = 1;  ///< 2j (odd)
+
+  [[nodiscard]] int quanta() const noexcept { return 2 * n + l; }
+  [[nodiscard]] int parity() const noexcept { return l % 2 == 0 ? +1 : -1; }
+  [[nodiscard]] int degeneracy() const noexcept { return twoj + 1; }
+  [[nodiscard]] std::string label() const;  // "0p3/2" style
+};
+
+/// A single-particle m-state.
+struct SpState {
+  int orbital_index = 0;  ///< into the basis' orbital list
+  int n = 0;
+  int l = 0;
+  int twoj = 1;
+  int twomj = 1;  ///< 2 m_j, odd, |twomj| <= twoj
+
+  [[nodiscard]] int quanta() const noexcept { return 2 * n + l; }
+  [[nodiscard]] int parity() const noexcept { return l % 2 == 0 ? +1 : -1; }
+};
+
+/// All orbitals/states with quanta N <= max_shell, ordered by (N, l, 2j,
+/// 2m_j) — a fixed, reproducible ordering that the Slater-determinant
+/// machinery relies on.
+class HoBasis {
+ public:
+  explicit HoBasis(int max_shell);
+
+  [[nodiscard]] int max_shell() const noexcept { return max_shell_; }
+  [[nodiscard]] const std::vector<Orbital>& orbitals() const noexcept { return orbitals_; }
+  [[nodiscard]] const std::vector<SpState>& states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t num_states() const noexcept { return states_.size(); }
+
+  /// States in shell N: (N+1)(N+2) per species.
+  [[nodiscard]] static int states_in_shell(int shell) noexcept {
+    return (shell + 1) * (shell + 2);
+  }
+  /// States with quanta <= shell: sum of the above.
+  [[nodiscard]] static int states_up_to_shell(int shell) noexcept;
+
+ private:
+  int max_shell_;
+  std::vector<Orbital> orbitals_;
+  std::vector<SpState> states_;
+};
+
+/// Minimal total HO quanta of `particles` identical fermions filling the
+/// lowest shells (the N0 used by the Nmax truncation).
+[[nodiscard]] int minimal_quanta(int particles);
+
+}  // namespace dooc::ci

@@ -1,0 +1,200 @@
+#include "ci/mscheme.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace dooc::ci {
+
+int NucleusConfig::max_shell() const {
+  // One particle can absorb the whole Nmax excitation on top of the highest
+  // shell occupied in the lowest filling.
+  int highest_filled = 0;
+  int remaining = std::max(protons, neutrons);
+  for (int shell = 0; remaining > 0; ++shell) {
+    remaining -= std::min(remaining, HoBasis::states_in_shell(shell));
+    highest_filled = shell;
+  }
+  return highest_filled + nmax;
+}
+
+std::size_t SpeciesCount::index(int k, int q, int m_off) const noexcept {
+  return (static_cast<std::size_t>(k) * static_cast<std::size_t>(max_quanta_ + 1) +
+          static_cast<std::size_t>(q)) *
+             static_cast<std::size_t>(2 * m_bound_ + 1) +
+         static_cast<std::size_t>(m_off);
+}
+
+SpeciesCount::SpeciesCount(const HoBasis& basis, int particles, int max_quanta)
+    : particles_(particles), max_quanta_(max_quanta) {
+  DOOC_REQUIRE(particles >= 0, "negative particle count");
+  // Bound on |total 2m|: the `particles` largest |2m_j| values available.
+  std::vector<int> mags;
+  mags.reserve(basis.num_states());
+  for (const auto& s : basis.states()) mags.push_back(std::abs(s.twomj));
+  std::sort(mags.rbegin(), mags.rend());
+  int bound = 0;
+  for (int i = 0; i < particles && i < static_cast<int>(mags.size()); ++i) bound += mags[i];
+  m_bound_ = std::max(bound, 1);
+
+  table_.assign(static_cast<std::size_t>(particles + 1) *
+                    static_cast<std::size_t>(max_quanta + 1) *
+                    static_cast<std::size_t>(2 * m_bound_ + 1),
+                0);
+  table_[index(0, 0, m_bound_)] = 1;
+
+  // 0/1-knapsack over single-particle states.
+  for (const auto& s : basis.states()) {
+    const int q = s.quanta();
+    if (q > max_quanta) continue;
+    const int m = s.twomj;
+    for (int k = particles; k >= 1; --k) {
+      for (int quanta = max_quanta; quanta >= q; --quanta) {
+        const int mlo = std::max(-m_bound_, -m_bound_ + m);
+        const int mhi = std::min(m_bound_, m_bound_ + m);
+        for (int twom = mlo; twom <= mhi; ++twom) {
+          const std::uint64_t add = table_[index(k - 1, quanta - q, twom - m + m_bound_)];
+          if (add != 0) table_[index(k, quanta, twom + m_bound_)] += add;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t SpeciesCount::ways(int k, int quanta, int twom) const {
+  if (k < 0 || k > particles_ || quanta < 0 || quanta > max_quanta_ ||
+      std::abs(twom) > m_bound_) {
+    return 0;
+  }
+  return table_[index(k, quanta, twom + m_bound_)];
+}
+
+std::uint64_t basis_dimension(const NucleusConfig& config) {
+  const int n0 = config.n0();
+  const int max_total = n0 + config.nmax;
+  const int want_parity = (n0 + config.nmax) % 2;  // parity of allowed N_tot
+  const HoBasis basis(config.max_shell());
+  const SpeciesCount protons(basis, config.protons, max_total);
+  const SpeciesCount neutrons(basis, config.neutrons, max_total);
+
+  std::uint64_t total = 0;
+  for (int ntot = max_total; ntot >= n0; --ntot) {
+    if (ntot % 2 != want_parity) continue;
+    for (int qp = 0; qp <= ntot; ++qp) {
+      const int qn = ntot - qp;
+      // Sum over proton/neutron 2m split: Σ_mp Wp(Z, qp, mp) Wn(N, qn, M-mp).
+      for (int mp = -protons.m_bound(); mp <= protons.m_bound(); ++mp) {
+        const std::uint64_t wp = protons.ways(config.protons, qp, mp);
+        if (wp == 0) continue;
+        const std::uint64_t wn = neutrons.ways(config.neutrons, qn, config.two_mj - mp);
+        total += wp * wn;
+      }
+    }
+  }
+  return total;
+}
+
+int determinant_quanta(const HoBasis& basis, const Determinant& det) {
+  int q = 0;
+  for (auto s : det.proton_states) q += basis.states()[s].quanta();
+  for (auto s : det.neutron_states) q += basis.states()[s].quanta();
+  return q;
+}
+
+int determinant_twom(const HoBasis& basis, const Determinant& det) {
+  int m = 0;
+  for (auto s : det.proton_states) m += basis.states()[s].twomj;
+  for (auto s : det.neutron_states) m += basis.states()[s].twomj;
+  return m;
+}
+
+namespace {
+
+/// Enumerate all k-subsets of states with quanta <= max_quanta, pruning on
+/// remaining-capacity bounds; calls sink(occupation, quanta, twom).
+void enumerate_species(const HoBasis& basis, int particles, int max_quanta,
+                       const std::function<void(const std::vector<std::uint16_t>&, int, int)>& sink) {
+  std::vector<std::uint16_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(particles));
+  const auto& states = basis.states();
+  const int total_states = static_cast<int>(states.size());
+
+  // Suffix minimum quanta for pruning: picking `need` more from s..end.
+  // min quanta of the `need` smallest-quanta states in the suffix — states
+  // are shell-ordered, so the first `need` states of the suffix minimize it.
+  auto min_suffix_quanta = [&](int s, int need) {
+    int q = 0;
+    for (int i = 0; i < need; ++i) {
+      if (s + i >= total_states) return 1 << 30;
+      q += states[static_cast<std::size_t>(s + i)].quanta();
+    }
+    return q;
+  };
+
+  std::function<void(int, int, int)> rec = [&](int next, int quanta, int twom) {
+    const int need = particles - static_cast<int>(chosen.size());
+    if (need == 0) {
+      sink(chosen, quanta, twom);
+      return;
+    }
+    for (int s = next; s <= total_states - need; ++s) {
+      const int q = states[static_cast<std::size_t>(s)].quanta();
+      if (quanta + q + min_suffix_quanta(s + 1, need - 1) > max_quanta) {
+        // States are ordered by shell: if even the cheapest completion from
+        // here exceeds the cutoff, later starts only get worse.
+        if (quanta + q > max_quanta) break;
+        continue;
+      }
+      chosen.push_back(static_cast<std::uint16_t>(s));
+      rec(s + 1, quanta + q, twom + states[static_cast<std::size_t>(s)].twomj);
+      chosen.pop_back();
+    }
+  };
+  rec(0, 0, 0);
+}
+
+}  // namespace
+
+std::vector<Determinant> enumerate_basis(const NucleusConfig& config, std::uint64_t limit) {
+  const std::uint64_t dim = basis_dimension(config);
+  DOOC_REQUIRE(dim <= limit, "basis dimension " + std::to_string(dim) +
+                                 " exceeds the enumeration limit " + std::to_string(limit));
+  const int n0 = config.n0();
+  const int max_total = n0 + config.nmax;
+  const int want_parity = (n0 + config.nmax) % 2;
+  const HoBasis basis(config.max_shell());
+
+  // Enumerate proton configurations once, bucketed by (quanta, twom).
+  struct SpeciesConfigs {
+    std::vector<std::vector<std::uint16_t>> occ;
+    std::vector<int> quanta;
+    std::vector<int> twom;
+  };
+  SpeciesConfigs ps;
+  enumerate_species(basis, config.protons, max_total,
+                    [&](const std::vector<std::uint16_t>& occ, int q, int m) {
+                      ps.occ.push_back(occ);
+                      ps.quanta.push_back(q);
+                      ps.twom.push_back(m);
+                    });
+
+  std::vector<Determinant> out;
+  out.reserve(dim);
+  enumerate_species(basis, config.neutrons, max_total,
+                    [&](const std::vector<std::uint16_t>& nocc, int nq, int nm) {
+                      for (std::size_t i = 0; i < ps.occ.size(); ++i) {
+                        const int ntot = ps.quanta[i] + nq;
+                        if (ntot > max_total || ntot % 2 != want_parity) continue;
+                        if (ps.twom[i] + nm != config.two_mj) continue;
+                        Determinant d;
+                        d.proton_states = ps.occ[i];
+                        d.neutron_states = nocc;
+                        out.push_back(std::move(d));
+                      }
+                    });
+  DOOC_CHECK(out.size() == dim, "enumeration disagrees with the counting DP");
+  return out;
+}
+
+}  // namespace dooc::ci

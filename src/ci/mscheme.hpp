@@ -1,0 +1,78 @@
+// M-scheme many-body basis for CI nuclear-structure calculations (§II).
+//
+// A many-body basis state is a Slater determinant of single-particle HO
+// states: Z proton states and N neutron states, subject to
+//   * total magnetic projection  Σ m_j = M_j,
+//   * Nmax truncation: total quanta N_tot ≤ N0 + Nmax, where N0 is the
+//     minimal total quanta for that nucleus, and
+//   * the parity selected by Nmax ((-1)^{N_tot} = (-1)^{N0 + Nmax}).
+//
+// The basis dimension D (Table I's headline column) is computed *exactly*
+// with a two-species knapsack DP over single-particle states — no
+// enumeration — so D for paper-scale cases (D ~ 1e9) costs milliseconds.
+// Small systems can additionally be enumerated explicitly for the
+// Hamiltonian construction and for cross-checking the DP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ci/ho_basis.hpp"
+
+namespace dooc::ci {
+
+struct NucleusConfig {
+  int protons = 0;
+  int neutrons = 0;
+  int nmax = 0;
+  int two_mj = 0;  ///< 2 * M_j (integer for even A, odd for odd A)
+
+  [[nodiscard]] int particles() const noexcept { return protons + neutrons; }
+  /// Minimal total quanta N0 (protons + neutrons fill lowest shells).
+  [[nodiscard]] int n0() const { return minimal_quanta(protons) + minimal_quanta(neutrons); }
+  /// Highest single-particle shell any determinant can touch.
+  [[nodiscard]] int max_shell() const;
+};
+
+/// A Slater determinant: sorted occupied state indices per species
+/// (indices into HoBasis::states()).
+struct Determinant {
+  std::vector<std::uint16_t> proton_states;
+  std::vector<std::uint16_t> neutron_states;
+
+  friend bool operator==(const Determinant&, const Determinant&) = default;
+};
+
+/// Per-species occupation-count table: ways[k][q][m_offset] = number of
+/// ways to pick k states with total quanta q and total 2m = m_offset - off.
+class SpeciesCount {
+ public:
+  SpeciesCount(const HoBasis& basis, int particles, int max_quanta);
+
+  [[nodiscard]] std::uint64_t ways(int k, int quanta, int twom) const;
+  [[nodiscard]] int max_quanta() const noexcept { return max_quanta_; }
+  [[nodiscard]] int m_bound() const noexcept { return m_bound_; }
+
+ private:
+  int particles_;
+  int max_quanta_;
+  int m_bound_;  ///< counts stored for twom in [-m_bound, m_bound]
+  // Flattened [k][q][m + m_bound].
+  std::vector<std::uint64_t> table_;
+  [[nodiscard]] std::size_t index(int k, int q, int m_off) const noexcept;
+};
+
+/// Exact M-scheme dimension D for the nucleus — the DP route.
+[[nodiscard]] std::uint64_t basis_dimension(const NucleusConfig& config);
+
+/// Explicit enumeration (small systems only; throws if D would exceed
+/// `limit`). Determinant order is deterministic.
+[[nodiscard]] std::vector<Determinant> enumerate_basis(const NucleusConfig& config,
+                                                       std::uint64_t limit = 2'000'000);
+
+/// Total quanta of a determinant.
+[[nodiscard]] int determinant_quanta(const HoBasis& basis, const Determinant& det);
+/// Total 2*M_j of a determinant.
+[[nodiscard]] int determinant_twom(const HoBasis& basis, const Determinant& det);
+
+}  // namespace dooc::ci

@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace dooc::detail {
+
+void throw_check_failed(const char* kind, const char* expr, const char* file,
+                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace dooc::detail

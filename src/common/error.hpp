@@ -1,0 +1,69 @@
+// Error handling primitives for the DOoC library.
+//
+// The library reports unrecoverable contract violations and environmental
+// failures via exceptions derived from dooc::Error. Hot paths use the
+// DOOC_CHECK / DOOC_REQUIRE macros which cost a predicted-taken branch.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dooc {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (bad interval, double release, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// The environment failed us (filesystem error, short read, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant does not hold; indicates a bug in the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Immutability violation: a write-once block was written twice, or read
+/// before being sealed. Kept distinct so tests can assert on it.
+class ImmutabilityViolation : public Error {
+ public:
+  explicit ImmutabilityViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace dooc
+
+/// Validate a user-facing precondition; throws dooc::InvalidArgument.
+#define DOOC_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::dooc::detail::throw_check_failed("precondition", #expr, __FILE__,    \
+                                         __LINE__, (msg));                   \
+    }                                                                        \
+  } while (0)
+
+/// Validate an internal invariant; throws dooc::InternalError.
+#define DOOC_CHECK(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::dooc::detail::throw_check_failed("invariant", #expr, __FILE__,       \
+                                         __LINE__, (msg));                   \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,39 @@
+// Flat key-value options bag with typed accessors. Used to configure the
+// runtime, the storage layer and the bench harnesses from a single place
+// (and from example-program command lines) without a config-file dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dooc {
+
+class Options {
+ public:
+  Options() = default;
+
+  void set(const std::string& key, std::string value) { values_[key] = std::move(value); }
+  void set_int(const std::string& key, std::int64_t value) { values_[key] = std::to_string(value); }
+  void set_double(const std::string& key, double value) { values_[key] = std::to_string(value); }
+  void set_bool(const std::string& key, bool value) { values_[key] = value ? "true" : "false"; }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return values_.count(key) != 0; }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parse "--key=value" / "--flag" style arguments; unknown positional
+  /// arguments are returned untouched (callers handle them).
+  static Options from_args(int argc, char** argv);
+
+  [[nodiscard]] const std::map<std::string, std::string>& raw() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dooc

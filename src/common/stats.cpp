@@ -1,0 +1,52 @@
+#include "common/stats.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dooc {
+
+namespace {
+std::string scaled(double value, double base, const std::array<const char*, 7>& units,
+                   const char* suffix) {
+  std::size_t u = 0;
+  double v = value;
+  while (std::abs(v) >= base && u + 1 < units.size()) {
+    v /= base;
+    ++u;
+  }
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.2f %s%s", v, units[u], suffix);
+  return out;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  return scaled(bytes, 1024.0, {"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"}, "");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  // The paper quotes decimal GB/s (20 GB/s peak); match that convention.
+  return scaled(bytes_per_second, 1000.0, {"B", "KB", "MB", "GB", "TB", "PB", "EB"}, "/s");
+}
+
+std::string format_count(double count) {
+  return scaled(count, 1000.0, {"", "K", "M", "G", "T", "P", "E"}, "");
+}
+
+std::string format_duration(double seconds) {
+  char out[64];
+  if (seconds < 1e-6) {
+    std::snprintf(out, sizeof(out), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(out, sizeof(out), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(out, sizeof(out), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(out, sizeof(out), "%.1f s", seconds);
+  } else {
+    std::snprintf(out, sizeof(out), "%.1f min", seconds / 60.0);
+  }
+  return out;
+}
+
+}  // namespace dooc

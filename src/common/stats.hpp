@@ -1,0 +1,82 @@
+// Streaming statistics and human-readable unit formatting, used by the
+// instrumentation in the storage layer, the schedulers and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dooc {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) { *this = other; return; }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary histogram (log2 buckets) for latency/size distributions.
+class Log2Histogram {
+ public:
+  void add(double x) noexcept {
+    stats_.add(x);
+    int bucket = 0;
+    if (x >= 1.0) bucket = std::min<int>(kBuckets - 1, 1 + static_cast<int>(std::log2(x)));
+    ++counts_[static_cast<std::size_t>(bucket)];
+  }
+
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  static constexpr int kBuckets = 64;
+
+ private:
+  RunningStats stats_;
+  std::uint64_t counts_[kBuckets] = {};
+};
+
+/// "1.56 TB", "18.7 GB/s" style formatting used by the bench tables.
+std::string format_bytes(double bytes);
+std::string format_bandwidth(double bytes_per_second);
+std::string format_count(double count);  // 12.8 G, 4.66e7, ...
+std::string format_duration(double seconds);
+
+}  // namespace dooc

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for the real execution backend. The discrete-event
+// simulator keeps its own virtual clock (see simcluster/event_queue.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace dooc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dooc

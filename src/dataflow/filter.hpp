@@ -1,0 +1,107 @@
+// The filter abstraction: the unit of computation in the filter-stream
+// programming model. Application developers "write the filter functions and
+// determine the filter and stream layout" (paper §III-A); everything else —
+// placement, replication, flow control, node-boundary copies — is handled
+// by the runtime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/thread_pool.hpp"
+#include "dataflow/stream.hpp"
+
+namespace dooc::df {
+
+/// Everything a running filter instance may touch. Handed to init/run/
+/// finalize; owned by the runtime.
+class FilterContext {
+ public:
+  FilterContext(std::string filter_name, NodeId node, int replica, int num_replicas,
+                ThreadPool* pool, const Options* options)
+      : filter_name_(std::move(filter_name)),
+        node_(node),
+        replica_(replica),
+        num_replicas_(num_replicas),
+        pool_(pool),
+        options_(options) {}
+
+  [[nodiscard]] const std::string& filter_name() const noexcept { return filter_name_; }
+  /// Virtual node this instance is placed on.
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  /// Index of this transparent copy within its filter group.
+  [[nodiscard]] int replica() const noexcept { return replica_; }
+  [[nodiscard]] int num_replicas() const noexcept { return num_replicas_; }
+
+  /// Node-local worker pool for intra-filter parallelism.
+  [[nodiscard]] ThreadPool& pool() const {
+    DOOC_CHECK(pool_ != nullptr, "filter context has no thread pool");
+    return *pool_;
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return *options_; }
+
+  [[nodiscard]] bool has_input(const std::string& port) const { return inputs_.count(port) != 0; }
+  [[nodiscard]] bool has_output(const std::string& port) const { return outputs_.count(port) != 0; }
+
+  StreamReader& input(const std::string& port) {
+    auto it = inputs_.find(port);
+    DOOC_REQUIRE(it != inputs_.end(), "unknown input port '" + port + "' on filter " + filter_name_);
+    return it->second;
+  }
+
+  StreamWriter& output(const std::string& port) {
+    auto it = outputs_.find(port);
+    DOOC_REQUIRE(it != outputs_.end(), "unknown output port '" + port + "' on filter " + filter_name_);
+    return it->second;
+  }
+
+  /// Close every output port (the runtime calls this after run() returns,
+  /// so end-of-stream propagates even when a filter forgets).
+  void close_outputs() {
+    for (auto& [name, writer] : outputs_) writer.close();
+  }
+
+  // Wiring — used by the runtime while instantiating a layout.
+  void attach_input(const std::string& port, StreamReader reader) { inputs_[port] = std::move(reader); }
+  void attach_output(const std::string& port, StreamWriter writer) { outputs_[port] = std::move(writer); }
+
+ private:
+  std::string filter_name_;
+  NodeId node_;
+  int replica_;
+  int num_replicas_;
+  ThreadPool* pool_;
+  const Options* options_;
+  std::map<std::string, StreamReader> inputs_;
+  std::map<std::string, StreamWriter> outputs_;
+};
+
+/// Base class of all filters. A filter instance runs on its own thread:
+/// init() once, then run() — which typically loops receiving from input
+/// ports until end-of-stream — then finalize().
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  virtual void init(FilterContext& /*ctx*/) {}
+  virtual void run(FilterContext& ctx) = 0;
+  virtual void finalize(FilterContext& /*ctx*/) {}
+};
+
+using FilterFactory = std::function<std::unique_ptr<Filter>()>;
+
+/// Convenience adaptor: a filter defined by a single callable.
+class LambdaFilter final : public Filter {
+ public:
+  explicit LambdaFilter(std::function<void(FilterContext&)> body) : body_(std::move(body)) {}
+  void run(FilterContext& ctx) override { body_(ctx); }
+
+ private:
+  std::function<void(FilterContext&)> body_;
+};
+
+}  // namespace dooc::df

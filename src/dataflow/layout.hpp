@@ -1,0 +1,81 @@
+// A layout is the "filter ontology" of the paper: the set of application
+// filters, their replication/placement, and the streams connecting them.
+// It is pure description; the Runtime instantiates and executes it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dataflow/filter.hpp"
+
+namespace dooc::df {
+
+struct FilterDecl {
+  std::string name;
+  FilterFactory factory;
+  /// One replica per entry, placed on the given virtual node. A stateless
+  /// filter declared with several entries becomes a transparent copy group.
+  std::vector<NodeId> placement;
+};
+
+struct StreamDecl {
+  std::string name;  // derived "<from>.<port>-><to>.<port>" if empty
+  std::string from_filter;
+  std::string from_port;
+  std::string to_filter;
+  std::string to_port;
+  std::size_t capacity = 16;
+};
+
+class Layout {
+ public:
+  /// Declare a filter group. `placement` lists one virtual node per replica.
+  Layout& add_filter(std::string name, FilterFactory factory,
+                     std::vector<NodeId> placement = {0}) {
+    DOOC_REQUIRE(!placement.empty(), "filter '" + name + "' needs at least one replica");
+    DOOC_REQUIRE(find_filter(name) == nullptr, "duplicate filter name '" + name + "'");
+    filters_.push_back(FilterDecl{std::move(name), std::move(factory), std::move(placement)});
+    return *this;
+  }
+
+  /// Connect an output port to an input port with a bounded stream.
+  Layout& connect(const std::string& from_filter, const std::string& from_port,
+                  const std::string& to_filter, const std::string& to_port,
+                  std::size_t capacity = 16) {
+    DOOC_REQUIRE(find_filter(from_filter) != nullptr, "unknown producer filter '" + from_filter + "'");
+    DOOC_REQUIRE(find_filter(to_filter) != nullptr, "unknown consumer filter '" + to_filter + "'");
+    StreamDecl s;
+    s.name = from_filter + "." + from_port + "->" + to_filter + "." + to_port;
+    s.from_filter = from_filter;
+    s.from_port = from_port;
+    s.to_filter = to_filter;
+    s.to_port = to_port;
+    s.capacity = capacity;
+    streams_.push_back(std::move(s));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FilterDecl>& filters() const noexcept { return filters_; }
+  [[nodiscard]] const std::vector<StreamDecl>& streams() const noexcept { return streams_; }
+
+  [[nodiscard]] const FilterDecl* find_filter(const std::string& name) const noexcept {
+    for (const auto& f : filters_)
+      if (f.name == name) return &f;
+    return nullptr;
+  }
+
+  /// Highest node id referenced by any placement (for runtime sizing).
+  [[nodiscard]] NodeId max_node() const noexcept {
+    NodeId m = 0;
+    for (const auto& f : filters_)
+      for (NodeId n : f.placement) m = std::max(m, n);
+    return m;
+  }
+
+ private:
+  std::vector<FilterDecl> filters_;
+  std::vector<StreamDecl> streams_;
+};
+
+}  // namespace dooc::df

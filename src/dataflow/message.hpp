@@ -1,0 +1,21 @@
+// A message is what travels on a stream: an untyped data buffer plus a small
+// application tag. DataCutter deliberately keeps stream payloads untyped so
+// the runtime never pays per-element marshalling costs (paper §III-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+
+namespace dooc::df {
+
+struct Message {
+  DataBuffer payload;
+  /// Free-form application tag (e.g. block id, iteration number).
+  std::uint64_t tag = 0;
+
+  Message() = default;
+  explicit Message(DataBuffer buf, std::uint64_t t = 0) : payload(std::move(buf)), tag(t) {}
+};
+
+}  // namespace dooc::df

@@ -1,0 +1,100 @@
+#include "dataflow/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace dooc::df {
+
+Runtime::Runtime(int num_nodes, Options options, int threads_per_node)
+    : num_nodes_(num_nodes), options_(std::move(options)), transport_(num_nodes) {
+  DOOC_REQUIRE(num_nodes > 0, "runtime needs at least one node");
+  DOOC_REQUIRE(threads_per_node > 0, "each node needs at least one compute thread");
+  pools_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    pools_.push_back(std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_per_node)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+ThreadPool& Runtime::node_pool(NodeId node) {
+  DOOC_REQUIRE(node >= 0 && node < num_nodes_, "node id out of range");
+  return *pools_[static_cast<std::size_t>(node)];
+}
+
+void Runtime::run(const Layout& layout) {
+  DOOC_REQUIRE(layout.max_node() < num_nodes_,
+               "layout places a filter on a node the runtime does not have");
+
+  // Instantiate streams.
+  std::map<std::string, std::shared_ptr<Stream>> streams;
+  for (const auto& decl : layout.streams()) {
+    DOOC_REQUIRE(streams.count(decl.name) == 0, "duplicate stream '" + decl.name + "'");
+    streams[decl.name] = std::make_shared<Stream>(decl.name, decl.capacity, &transport_);
+  }
+
+  // Instantiate filter replicas with their contexts.
+  struct Instance {
+    std::unique_ptr<Filter> filter;
+    std::unique_ptr<FilterContext> ctx;
+  };
+  std::vector<Instance> instances;
+  for (const auto& decl : layout.filters()) {
+    const int num_replicas = static_cast<int>(decl.placement.size());
+    for (int r = 0; r < num_replicas; ++r) {
+      const NodeId node = decl.placement[static_cast<std::size_t>(r)];
+      Instance inst;
+      inst.filter = decl.factory();
+      DOOC_CHECK(inst.filter != nullptr, "filter factory returned null for '" + decl.name + "'");
+      inst.ctx = std::make_unique<FilterContext>(decl.name, node, r, num_replicas,
+                                                 pools_[static_cast<std::size_t>(node)].get(),
+                                                 &options_);
+      // Wire the ports this replica participates in.
+      for (const auto& sd : layout.streams()) {
+        auto stream = streams.at(sd.name);
+        if (sd.from_filter == decl.name) {
+          inst.ctx->attach_output(sd.from_port, StreamWriter(stream, node));
+        }
+        if (sd.to_filter == decl.name) {
+          inst.ctx->attach_input(sd.to_port, StreamReader(stream, node));
+        }
+      }
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  // Run every instance on its own thread, DataCutter-style.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(instances.size());
+  for (auto& inst : instances) {
+    threads.emplace_back([&inst, &error_mutex, &first_error] {
+      try {
+        inst.filter->init(*inst.ctx);
+        inst.filter->run(*inst.ctx);
+        inst.ctx->close_outputs();
+        inst.filter->finalize(*inst.ctx);
+      } catch (...) {
+        // Close outputs so downstream filters unblock and drain.
+        inst.ctx->close_outputs();
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Collect stream statistics for post-mortem inspection.
+  stream_stats_.clear();
+  for (const auto& [name, stream] : streams) {
+    stream_stats_[name] = StreamStats{stream->total_messages(), stream->total_bytes()};
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dooc::df

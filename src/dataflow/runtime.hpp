@@ -1,0 +1,52 @@
+// The dataflow runtime: instantiates a Layout across virtual nodes, runs
+// every filter instance on its own thread, propagates end-of-stream and
+// exceptions, and exposes traffic statistics afterwards.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/thread_pool.hpp"
+#include "dataflow/layout.hpp"
+#include "dataflow/stream.hpp"
+
+namespace dooc::df {
+
+class Runtime {
+ public:
+  /// `threads_per_node` sizes each virtual node's compute pool (the
+  /// parallelism a local scheduler can split tasks across).
+  explicit Runtime(int num_nodes, Options options = {}, int threads_per_node = 1);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute the layout to completion. Throws the first filter exception.
+  void run(const Layout& layout);
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] TransportStats& transport() noexcept { return transport_; }
+  [[nodiscard]] ThreadPool& node_pool(NodeId node);
+
+  /// Stream statistics gathered during the last run(), keyed by stream name.
+  struct StreamStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const std::map<std::string, StreamStats>& stream_stats() const noexcept {
+    return stream_stats_;
+  }
+
+ private:
+  int num_nodes_;
+  Options options_;
+  TransportStats transport_;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
+  std::map<std::string, StreamStats> stream_stats_;
+};
+
+}  // namespace dooc::df

@@ -1,0 +1,136 @@
+// Streams: unidirectional, flow-controlled message channels between filters.
+//
+// A stream connects a producer filter group to a consumer filter group.
+// When either group is replicated ("transparent copies" of a stateless
+// filter, paper §III-A) the stream acts as a demand-driven distributor:
+// every message is delivered to exactly one consumer replica. End-of-stream
+// is reached once every producer endpoint has closed and the queue drained.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/queue.hpp"
+#include "dataflow/message.hpp"
+#include "dataflow/transport.hpp"
+
+namespace dooc::df {
+
+class Stream {
+ public:
+  Stream(std::string name, std::size_t capacity, TransportStats* stats)
+      : name_(std::move(name)), queue_(capacity), stats_(stats) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void register_producer() noexcept { producers_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// A producer endpoint will send no more messages. When the last one
+  /// closes, the stream is closed (pending messages still drain).
+  void producer_done() {
+    if (producers_.fetch_sub(1, std::memory_order_acq_rel) == 1) queue_.close();
+  }
+
+  /// Blocking send. Returns false if the stream was force-closed.
+  bool push(Message m, NodeId from) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+    return queue_.push(Entry{std::move(m), from});
+  }
+
+  /// Blocking receive on behalf of a consumer living on node `to`.
+  /// nullopt signals end-of-stream. Payloads are cloned (and traffic
+  /// counted) when the producing and consuming nodes differ.
+  std::optional<Message> pop(NodeId to) {
+    auto entry = queue_.pop();
+    if (!entry) return std::nullopt;
+    return cross_boundary(std::move(entry->message), entry->from, to, stats_);
+  }
+
+  /// Non-blocking variant of pop().
+  std::optional<Message> try_pop(NodeId to) {
+    auto entry = queue_.try_pop();
+    if (!entry) return std::nullopt;
+    return cross_boundary(std::move(entry->message), entry->from, to, stats_);
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return messages_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return bytes_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Message message;
+    NodeId from;
+  };
+
+  std::string name_;
+  BlockingQueue<Entry> queue_;
+  TransportStats* stats_;
+  std::atomic<int> producers_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Producer endpoint bound to one filter instance.
+class StreamWriter {
+ public:
+  StreamWriter() = default;
+  StreamWriter(std::shared_ptr<Stream> stream, NodeId node) : stream_(std::move(stream)), node_(node) {
+    stream_->register_producer();
+  }
+
+  StreamWriter(StreamWriter&& other) noexcept { *this = std::move(other); }
+  StreamWriter& operator=(StreamWriter&& other) noexcept {
+    close();
+    stream_ = std::move(other.stream_);
+    node_ = other.node_;
+    closed_ = other.closed_;
+    other.stream_.reset();
+    return *this;
+  }
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  ~StreamWriter() { close(); }
+
+  bool send(Message m) { return stream_ && stream_->push(std::move(m), node_); }
+  bool send(DataBuffer payload, std::uint64_t tag = 0) { return send(Message(std::move(payload), tag)); }
+
+  /// Idempotent; the runtime also closes any writer the filter left open.
+  void close() {
+    if (stream_ && !closed_) {
+      closed_ = true;
+      stream_->producer_done();
+    }
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return stream_ != nullptr; }
+
+ private:
+  std::shared_ptr<Stream> stream_;
+  NodeId node_ = 0;
+  bool closed_ = false;
+};
+
+/// Consumer endpoint bound to one filter instance.
+class StreamReader {
+ public:
+  StreamReader() = default;
+  StreamReader(std::shared_ptr<Stream> stream, NodeId node) : stream_(std::move(stream)), node_(node) {}
+
+  /// Blocking receive; nullopt at end-of-stream.
+  std::optional<Message> receive() { return stream_ ? stream_->pop(node_) : std::nullopt; }
+  std::optional<Message> try_receive() { return stream_ ? stream_->try_pop(node_) : std::nullopt; }
+
+  [[nodiscard]] bool valid() const noexcept { return stream_ != nullptr; }
+
+ private:
+  std::shared_ptr<Stream> stream_;
+  NodeId node_ = 0;
+};
+
+}  // namespace dooc::df

@@ -1,0 +1,78 @@
+// Virtual-node identity and the node-boundary policy.
+//
+// The reproduction runs every "node" of the distributed system inside one
+// process (no MPI is available in this environment), but distributed-memory
+// semantics are preserved: whenever a message crosses a virtual-node
+// boundary its payload is deep-copied, so no two nodes ever alias mutable
+// memory. The transport also accounts bytes/messages so experiments can
+// report network traffic exactly as a wire transport would.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/message.hpp"
+
+namespace dooc::df {
+
+using NodeId = int;
+
+/// Per-edge traffic counters, aggregated per (source node, target node).
+class TransportStats {
+ public:
+  explicit TransportStats(int num_nodes)
+      : num_nodes_(num_nodes), cells_(static_cast<std::size_t>(num_nodes) * num_nodes) {}
+
+  void record(NodeId from, NodeId to, std::size_t bytes) noexcept {
+    auto& c = cell(from, to);
+    c.messages.fetch_add(1, std::memory_order_relaxed);
+    c.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bytes(NodeId from, NodeId to) const noexcept {
+    return cell(from, to).bytes.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages(NodeId from, NodeId to) const noexcept {
+    return cell(from, to).messages.load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes that crossed any node boundary (excludes node-local sends).
+  [[nodiscard]] std::uint64_t cross_node_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (NodeId i = 0; i < num_nodes_; ++i)
+      for (NodeId j = 0; j < num_nodes_; ++j)
+        if (i != j) total += bytes(i, j);
+    return total;
+  }
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  Cell& cell(NodeId from, NodeId to) noexcept {
+    return cells_[static_cast<std::size_t>(from) * num_nodes_ + to];
+  }
+  const Cell& cell(NodeId from, NodeId to) const noexcept {
+    return cells_[static_cast<std::size_t>(from) * num_nodes_ + to];
+  }
+
+  int num_nodes_;
+  std::vector<Cell> cells_;
+};
+
+/// Apply the node-boundary policy to a message about to be delivered from
+/// `from` to `to`: clone across boundaries, pass through locally.
+inline Message cross_boundary(Message m, NodeId from, NodeId to, TransportStats* stats) {
+  if (from != to) {
+    if (stats != nullptr) stats->record(from, to, m.payload.size());
+    m.payload = m.payload.clone();
+  }
+  return m;
+}
+
+}  // namespace dooc::df

@@ -1,0 +1,44 @@
+#include "perfmodel/energy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dooc::perfmodel {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+double kwh(double watts, double seconds) { return watts * seconds / kSecondsPerHour / 1000.0; }
+}  // namespace
+
+EnergyBreakdown testbed_energy(const PowerProfile& p, int nodes, double seconds,
+                               double busy_fraction, double ssd_busy_fraction, int io_nodes,
+                               int ssds_per_io_node, int ssds_per_compute_node,
+                               double dram_gb_per_node) {
+  DOOC_REQUIRE(nodes > 0 && seconds >= 0, "degenerate energy query");
+  DOOC_REQUIRE(busy_fraction >= 0 && busy_fraction <= 1, "busy fraction out of range");
+  EnergyBreakdown e;
+  const double node_w =
+      p.compute_node_active_w * busy_fraction + p.compute_node_idle_w * (1.0 - busy_fraction);
+  e.compute_kwh = kwh(node_w * nodes, seconds);
+  e.dram_kwh = kwh(p.dram_w_per_gb * dram_gb_per_node * nodes, seconds);
+
+  const double ssd_w = p.ssd_active_w * ssd_busy_fraction + p.ssd_idle_w * (1.0 - ssd_busy_fraction);
+  const int io_ssds = io_nodes * ssds_per_io_node;
+  const int local_ssds = nodes * ssds_per_compute_node;
+  e.storage_kwh = kwh(static_cast<double>(io_ssds + local_ssds) * ssd_w, seconds) +
+                  kwh(p.io_node_base_w * io_nodes, seconds);
+  return e;
+}
+
+EnergyBreakdown hopper_energy(const PowerProfile& p, int np, double seconds) {
+  DOOC_REQUIRE(np > 0 && seconds >= 0, "degenerate energy query");
+  const double nodes = std::ceil(static_cast<double>(np) / p.hopper_cores_per_node);
+  EnergyBreakdown e;
+  e.compute_kwh = kwh(p.hopper_node_w * nodes, seconds);
+  e.dram_kwh = kwh(p.dram_w_per_gb * p.hopper_dram_gb * nodes, seconds);
+  e.storage_kwh = 0.0;  // the matrix lives in DRAM; no storage tier
+  return e;
+}
+
+}  // namespace dooc::perfmodel

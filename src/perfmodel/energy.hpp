@@ -1,0 +1,56 @@
+// Energy-efficiency model — the study the paper proposes as future work
+// (§VI-B): "a study where the energy-efficiency of alternative SSD-testbed
+// configurations are compared against large-scale clusters like Hopper
+// could be very interesting."
+//
+// The model charges node power over the run time:
+//   * compute nodes draw active power while busy;
+//   * DRAM draws refresh power for the whole allocation the whole time —
+//     the paper's point that in-core runs "power up the entire DRAM
+//     constantly" over thousands of nodes;
+//   * SSDs are non-volatile: they draw power only while transferring;
+//   * the testbed's separate I/O nodes must stay powered for the whole run
+//     ("the separation ... prevents shutting off unused I/O nodes"),
+//     whereas a node-local-SSD design (§VI-A) has no such tax.
+//
+// Power figures are c.2012 server-class defaults and are configurable; the
+// model's output is a *ratio* between configurations, not a power bill.
+#pragma once
+
+namespace dooc::perfmodel {
+
+struct PowerProfile {
+  double compute_node_active_w = 350.0;  ///< Xeon X5550 node under load
+  double compute_node_idle_w = 180.0;
+  double dram_w_per_gb = 0.6;            ///< refresh + background
+  double ssd_active_w = 20.0;            ///< Virident-class PCIe card, busy
+  double ssd_idle_w = 8.0;
+  double io_node_base_w = 250.0;         ///< testbed I/O node, always on
+  double hopper_node_w = 420.0;          ///< XE6 dual-MagnyCours node (24 cores)
+  double hopper_dram_gb = 32.0;
+  int hopper_cores_per_node = 24;
+};
+
+struct EnergyBreakdown {
+  double compute_kwh = 0.0;
+  double dram_kwh = 0.0;
+  double storage_kwh = 0.0;  ///< SSD cards + I/O-node base power
+  [[nodiscard]] double total_kwh() const { return compute_kwh + dram_kwh + storage_kwh; }
+};
+
+/// Energy of an SSD-testbed run: `nodes` compute nodes busy for
+/// `busy_fraction` of `seconds`, `io_nodes` dedicated I/O nodes with two
+/// SSD cards each (the NERSC testbed), SSDs active for `ssd_busy_fraction`.
+/// Set io_nodes = 0 and ssds_per_compute_node > 0 for the paper's proposed
+/// node-local-SSD design.
+[[nodiscard]] EnergyBreakdown testbed_energy(const PowerProfile& p, int nodes, double seconds,
+                                             double busy_fraction, double ssd_busy_fraction,
+                                             int io_nodes, int ssds_per_io_node = 2,
+                                             int ssds_per_compute_node = 0,
+                                             double dram_gb_per_node = 24.0);
+
+/// Energy of an in-core Hopper run: np cores for `seconds`, full DRAM of
+/// every allocated node powered for the duration.
+[[nodiscard]] EnergyBreakdown hopper_energy(const PowerProfile& p, int np, double seconds);
+
+}  // namespace dooc::perfmodel

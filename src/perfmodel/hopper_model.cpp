@@ -1,0 +1,105 @@
+#include "perfmodel/hopper_model.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dooc::perfmodel {
+
+const std::vector<MfdnCase>& hopper_reference() {
+  // Tables I and II of the paper (10B, MFDn v13-beta02, 99 iterations).
+  static const std::vector<MfdnCase> cases = {
+      {"test276", 7, 0, 4.66e7, 2.81e10, 276, 244.0, 0.34},
+      {"test1128", 8, 1, 1.60e8, 1.24e11, 1128, 543.0, 0.60},
+      {"test4560", 9, 2, 4.82e8, 4.62e11, 4560, 759.0, 0.67},
+      {"test18336", 10, 3, 1.30e9, 1.51e12, 18336, 1870.0, 0.86},
+  };
+  return cases;
+}
+
+int triangular_grid_d(int np) {
+  const int d = static_cast<int>(std::floor((std::sqrt(8.0 * np + 1.0) - 1.0) / 2.0 + 0.5));
+  DOOC_REQUIRE(d * (d + 1) / 2 == np,
+               "processor count " + std::to_string(np) + " is not triangular");
+  return d;
+}
+
+int next_triangular(std::uint64_t np) {
+  int d = 1;
+  while (static_cast<std::uint64_t>(d) * (d + 1) / 2 < np) ++d;
+  return d * (d + 1) / 2;
+}
+
+namespace {
+
+/// Least-squares fit y ≈ c0*f0 + c1*f1 over n points (normal equations).
+/// Falls back to a single-term fit if a coefficient would go negative.
+std::array<double, 2> fit2(const std::vector<std::array<double, 2>>& f,
+                           const std::vector<double>& y) {
+  double a00 = 0, a01 = 0, a11 = 0, b0 = 0, b1 = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    a00 += f[i][0] * f[i][0];
+    a01 += f[i][0] * f[i][1];
+    a11 += f[i][1] * f[i][1];
+    b0 += f[i][0] * y[i];
+    b1 += f[i][1] * y[i];
+  }
+  const double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) > 1e-30) {
+    const double c0 = (b0 * a11 - b1 * a01) / det;
+    const double c1 = (a00 * b1 - a01 * b0) / det;
+    if (c0 >= 0 && c1 >= 0) return {c0, c1};
+  }
+  // Degenerate or sign-violating: fit the dominant single term.
+  if (a11 > a00) return {0.0, b1 / a11};
+  return {b0 / a00, 0.0};
+}
+
+}  // namespace
+
+HopperModel HopperModel::calibrated() {
+  const auto& cases = hopper_reference();
+  std::vector<std::array<double, 2>> comp_features, comm_features;
+  std::vector<double> comp_y, comm_y;
+  for (const auto& c : cases) {
+    const int d = triangular_grid_d(c.np);
+    const double t_iter = c.t_total_99 / 99.0;
+    comp_features.push_back({c.nnz / c.np, c.dimension * d / c.np});
+    comp_y.push_back(t_iter * (1.0 - c.comm_fraction));
+    comm_features.push_back({c.dimension * d / c.np, c.dimension * d * static_cast<double>(d) / c.np});
+    comm_y.push_back(t_iter * c.comm_fraction);
+  }
+  HopperModel m;
+  const auto comp = fit2(comp_features, comp_y);
+  const auto comm = fit2(comm_features, comm_y);
+  m.c_nnz_ = comp[0];
+  m.c_row_ = comp[1];
+  m.c_vol_ = comm[0];
+  m.c_sync_ = comm[1];
+  return m;
+}
+
+HopperPrediction HopperModel::predict(double dimension, double nnz, int np) const {
+  const int d = triangular_grid_d(np);
+  HopperPrediction p;
+  p.t_comp = c_nnz_ * nnz / np + c_row_ * dimension * d / np;
+  p.t_comm = c_vol_ * dimension * d / np + c_sync_ * dimension * d * static_cast<double>(d) / np;
+  return p;
+}
+
+double HopperModel::local_vector_bytes(double dimension, int np) {
+  const int d = triangular_grid_d(np);
+  return 8.0 * dimension / (2.0 * d);
+}
+
+double HopperModel::local_matrix_bytes(double nnz, int np) {
+  return kBytesPerNnz * nnz / np;
+}
+
+int HopperModel::min_processors(double nnz, double local_budget) {
+  const auto need = static_cast<std::uint64_t>(std::ceil(kBytesPerNnz * nnz / local_budget));
+  return next_triangular(need);
+}
+
+}  // namespace dooc::perfmodel

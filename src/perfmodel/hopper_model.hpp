@@ -1,0 +1,87 @@
+// Analytic cost model of in-core MFDn Lanczos iterations on Hopper
+// (Cray XE6), the comparison baseline of Tables I/II and Fig. 7.
+//
+// MFDn distributes the (symmetric, half-stored) Hamiltonian over a
+// triangular d(d+1)/2 processor grid — the paper's processor counts 276,
+// 1128, 4560 and 18336 are exactly d(d+1)/2 for d = 23, 47, 95, 191.
+//
+// Per-iteration model (np processors, grid size d, dimension D, nnz):
+//   t_comp = c_nnz * nnz / np  +  c_row * D * d / np
+//   t_comm = c_vol * D * d / np  +  c_sync * D * d^2 / np
+// The four coefficients are calibrated by least squares against the four
+// Table II measurements (total time and communication fraction of 99
+// Lanczos iterations). The d and d² communication terms capture the
+// vector distribution/reduction along grid rows/columns and the growing
+// synchronization/imbalance cost that dominates at 18k cores (86% comm).
+//
+// Auxiliary Table I models (constants read off the paper's own numbers):
+//   local Lanczos vector size  ≈ 8 D / (2 d)  bytes   (matches 8.8/13.6/20.4/27.2 MB)
+//   local matrix size          ≈ B * nnz / np bytes, B ≈ 8.5 bytes per stored non-zero
+//   n_p(case) = smallest triangular number with local matrix ≤ ~880 MB
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dooc::perfmodel {
+
+/// One Table II calibration/evaluation case.
+struct MfdnCase {
+  std::string name;      ///< "test276", ...
+  int nmax = 0;
+  int mj = 0;            ///< integer M_j of Table I
+  double dimension = 0;  ///< D(H)
+  double nnz = 0;        ///< nnz(H)
+  int np = 0;            ///< processors used
+  double t_total_99 = 0;     ///< measured seconds for 99 iterations
+  double comm_fraction = 0;  ///< measured t_comm / t_total
+};
+
+/// The paper's Table I + II reference data for 10B on Hopper.
+[[nodiscard]] const std::vector<MfdnCase>& hopper_reference();
+
+/// d for a triangular processor count np = d(d+1)/2; throws otherwise.
+[[nodiscard]] int triangular_grid_d(int np);
+/// Smallest triangular number >= np.
+[[nodiscard]] int next_triangular(std::uint64_t np);
+
+struct HopperPrediction {
+  double t_comp = 0;  ///< seconds per iteration
+  double t_comm = 0;
+  [[nodiscard]] double t_iter() const noexcept { return t_comp + t_comm; }
+  [[nodiscard]] double comm_fraction() const noexcept {
+    return t_iter() > 0 ? t_comm / t_iter() : 0.0;
+  }
+  [[nodiscard]] double cpu_hours_per_iter(int np) const noexcept {
+    return static_cast<double>(np) * t_iter() / 3600.0;
+  }
+};
+
+class HopperModel {
+ public:
+  /// Least-squares calibration against hopper_reference().
+  [[nodiscard]] static HopperModel calibrated();
+
+  [[nodiscard]] HopperPrediction predict(double dimension, double nnz, int np) const;
+
+  // Table I auxiliary models.
+  [[nodiscard]] static double local_vector_bytes(double dimension, int np);
+  [[nodiscard]] static double local_matrix_bytes(double nnz, int np);
+  /// Minimum triangular processor count to fit the matrix in memory
+  /// (~`local_budget` bytes of H per process).
+  [[nodiscard]] static int min_processors(double nnz, double local_budget = 880e6);
+
+  [[nodiscard]] double c_nnz() const noexcept { return c_nnz_; }
+  [[nodiscard]] double c_row() const noexcept { return c_row_; }
+  [[nodiscard]] double c_vol() const noexcept { return c_vol_; }
+  [[nodiscard]] double c_sync() const noexcept { return c_sync_; }
+
+  /// Bytes MFDn stores per non-zero of the half matrix (calibrated).
+  static constexpr double kBytesPerNnz = 8.5;
+
+ private:
+  double c_nnz_ = 0, c_row_ = 0, c_vol_ = 0, c_sync_ = 0;
+};
+
+}  // namespace dooc::perfmodel

@@ -1,0 +1,320 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace dooc::sched {
+
+namespace {
+
+/// Subtract per-field to get the delta of cluster stats over a run.
+storage::StorageStats delta(const storage::StorageStats& after, const storage::StorageStats& before) {
+  storage::StorageStats d;
+  d.disk_reads = after.disk_reads - before.disk_reads;
+  d.disk_read_bytes = after.disk_read_bytes - before.disk_read_bytes;
+  d.disk_writes = after.disk_writes - before.disk_writes;
+  d.disk_write_bytes = after.disk_write_bytes - before.disk_write_bytes;
+  d.remote_fetches = after.remote_fetches - before.remote_fetches;
+  d.remote_fetch_bytes = after.remote_fetch_bytes - before.remote_fetch_bytes;
+  d.evictions = after.evictions - before.evictions;
+  d.evicted_bytes = after.evicted_bytes - before.evicted_bytes;
+  d.lookup_hops = after.lookup_hops - before.lookup_hops;
+  d.read_requests = after.read_requests - before.read_requests;
+  d.write_requests = after.write_requests - before.write_requests;
+  d.prefetch_requests = after.prefetch_requests - before.prefetch_requests;
+  d.disk_read_seconds = after.disk_read_seconds - before.disk_read_seconds;
+  d.disk_write_seconds = after.disk_write_seconds - before.disk_write_seconds;
+  return d;
+}
+
+}  // namespace
+
+struct Engine::NodeState {
+  int node = -1;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<TaskId> ready;
+  /// Monotonic pick counter, for trace slots.
+  std::uint64_t picks = 0;
+};
+
+Engine::Engine(storage::StorageCluster& cluster, EngineConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  DOOC_REQUIRE(config_.compute_slots_per_node > 0, "need at least one compute slot per node");
+  DOOC_REQUIRE(config_.split_threads_per_node > 0, "need at least one split thread per node");
+  split_pools_.reserve(static_cast<std::size_t>(cluster_.num_nodes()));
+  for (int i = 0; i < cluster_.num_nodes(); ++i) {
+    split_pools_.push_back(
+        std::make_unique<ThreadPool>(static_cast<std::size_t>(config_.split_threads_per_node)));
+  }
+}
+
+Engine::~Engine() = default;
+
+std::uint64_t Engine::resident_input_bytes(int node, const Task& task) const {
+  std::uint64_t resident = 0;
+  auto& storage_node = cluster_.node(node);
+  for (const auto& in : task.inputs) {
+    if (storage_node.is_resident(in)) resident += in.length;
+  }
+  return resident;
+}
+
+TaskId Engine::pick_locked(NodeState& ns) {
+  if (ns.ready.empty()) return kInvalidTask;
+  const auto key_static = [this](TaskId t) {
+    const Task& task = graph_->task(t);
+    std::int64_t seq = task.seq;
+    if (config_.local_policy == LocalPolicy::BackAndForth && (task.group % 2) != 0) {
+      seq = -seq;
+    }
+    return std::make_pair(task.group, seq);
+  };
+
+  std::size_t best_idx = 0;
+  if (config_.local_policy == LocalPolicy::DataAware) {
+    // Highest resident byte count wins; ties by (group, seq).
+    std::uint64_t best_score = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < ns.ready.size(); ++i) {
+      const TaskId t = ns.ready[i];
+      const std::uint64_t score = resident_input_bytes(ns.node, graph_->task(t));
+      if (first || score > best_score ||
+          (score == best_score && key_static(t) < key_static(ns.ready[best_idx]))) {
+        best_idx = i;
+        best_score = score;
+        first = false;
+      }
+    }
+  } else {
+    for (std::size_t i = 1; i < ns.ready.size(); ++i) {
+      if (key_static(ns.ready[i]) < key_static(ns.ready[best_idx])) best_idx = i;
+    }
+  }
+  const TaskId picked = ns.ready[best_idx];
+  ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  return picked;
+}
+
+void Engine::prefetch_locked(NodeState& ns) {
+  if (config_.prefetch_window <= 0) return;
+  // Prefetch inputs of the first `prefetch_window` ready tasks in *policy*
+  // order: under the data-aware policy, tasks with resident blocks come
+  // first so their small missing inputs arrive before later prefetches
+  // evict the blocks they would reuse.
+  std::vector<TaskId> order = ns.ready;
+  std::sort(order.begin(), order.end(), [this, &ns](TaskId a, TaskId b) {
+    const Task& ta = graph_->task(a);
+    const Task& tb = graph_->task(b);
+    if (config_.local_policy == LocalPolicy::DataAware) {
+      const std::uint64_t ra = resident_input_bytes(ns.node, ta);
+      const std::uint64_t rb = resident_input_bytes(ns.node, tb);
+      if (ra != rb) return ra > rb;
+    }
+    return std::make_pair(ta.group, ta.seq) < std::make_pair(tb.group, tb.seq);
+  });
+  auto& storage_node = cluster_.node(ns.node);
+  int window = config_.prefetch_window;
+  for (const TaskId t : order) {
+    if (window <= 0) break;
+    const Task& task = graph_->task(t);
+    if (task.kind == "sync") continue;  // barriers move no data
+    bool missing = false;
+    for (const auto& in : task.inputs) {
+      if (!storage_node.is_resident(in)) {
+        storage_node.prefetch(in);
+        missing = true;
+      }
+    }
+    if (missing) --window;
+  }
+}
+
+void Engine::execute(NodeState& ns, int slot, TaskId t) {
+  const Task& task = graph_->task(t);
+  auto& storage_node = cluster_.node(ns.node);
+
+  // Sync tasks are barriers: their dependencies are enforced by the DAG
+  // but they move no data, so their inputs are never acquired (a global
+  // synchronization is a control message, not a transfer).
+  const bool control_only = task.kind == "sync";
+
+  TraceEvent ev;
+  if (config_.record_trace) {
+    ev.task = t;
+    ev.name = task.name;
+    ev.kind = task.kind;
+    ev.node = ns.node;
+    ev.slot = slot;
+    ev.inputs_resident = true;
+    if (!control_only) {
+      for (const auto& in : task.inputs) {
+        if (!storage_node.is_resident(in)) {
+          ev.inputs_resident = false;
+          ev.missing_bytes += in.length;
+        }
+      }
+    }
+    ev.start = clock_.seconds();
+  }
+
+  // Acquire output handles (immediate) then input handles (may block until
+  // producers seal / loads complete).
+  std::vector<storage::WriteHandle> outputs;
+  outputs.reserve(task.outputs.size());
+  for (const auto& out : task.outputs) {
+    outputs.push_back(storage_node.request_write(out).get());
+  }
+  std::vector<storage::ReadHandle> inputs;
+  if (!control_only) {
+    std::vector<std::future<storage::ReadHandle>> input_futures;
+    input_futures.reserve(task.inputs.size());
+    for (const auto& in : task.inputs) {
+      input_futures.push_back(storage_node.request_read(in));
+    }
+    inputs.reserve(task.inputs.size());
+    for (auto& f : input_futures) inputs.push_back(f.get());
+  }
+
+  if (task.work) {
+    TaskContext ctx(&task, ns.node, split_pools_[static_cast<std::size_t>(ns.node)].get(),
+                    &inputs, &outputs);
+    task.work(ctx);
+  }
+
+  // Release inputs first, then outputs (sealing makes results visible).
+  inputs.clear();
+  outputs.clear();
+
+  if (config_.record_trace) {
+    ev.end = clock_.seconds();
+    std::lock_guard lock(trace_mutex_);
+    trace_.push_back(std::move(ev));
+  }
+}
+
+void Engine::complete(TaskId t) {
+  // Publish all newly-ready successors per node in one batch: a worker
+  // that wakes up must see every choice this completion enables, or the
+  // data-aware policy would degenerate to arrival order.
+  std::map<int, std::vector<TaskId>> newly_ready;
+  for (TaskId s : graph_->successors(t)) {
+    if (deps_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      newly_ready[assignment_[s]].push_back(s);
+    }
+  }
+  for (auto& [node, tasks] : newly_ready) {
+    NodeState& ns = *node_states_[static_cast<std::size_t>(node)];
+    {
+      std::lock_guard lock(ns.mutex);
+      ns.ready.insert(ns.ready.end(), tasks.begin(), tasks.end());
+      prefetch_locked(ns);
+    }
+    ns.cv.notify_all();
+  }
+  if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+    for (auto& ns : node_states_) ns->cv.notify_all();
+  }
+}
+
+void Engine::worker_loop(NodeState& ns, int slot) {
+  while (true) {
+    TaskId t = kInvalidTask;
+    {
+      std::unique_lock lock(ns.mutex);
+      ns.cv.wait(lock, [&] {
+        return abort_.load() || completed_.load() == total_ || !ns.ready.empty();
+      });
+      if (abort_.load() || completed_.load() == total_) return;
+      t = pick_locked(ns);
+      if (t == kInvalidTask) continue;
+      prefetch_locked(ns);
+    }
+    try {
+      execute(ns, slot, t);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      abort_.store(true);
+      for (auto& other : node_states_) other->cv.notify_all();
+      return;
+    }
+    complete(t);
+  }
+}
+
+Report Engine::run(TaskGraph& graph) {
+  DOOC_REQUIRE(graph.built(), "run() needs a built task graph");
+  graph_ = &graph;
+  total_ = graph.size();
+  completed_.store(0);
+  abort_.store(false);
+  first_error_ = nullptr;
+  trace_.clear();
+
+  const storage::StorageStats stats_before = cluster_.total_stats();
+  const std::uint64_t cross_before =
+      cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0;
+
+  GlobalScheduler global(cluster_.num_nodes(), config_.global_policy);
+  CatalogLocator locator(&cluster_.catalog());
+  assignment_ = global.assign(graph, locator);
+
+  deps_ = std::vector<std::atomic<int>>(graph.size());
+  for (TaskId t = 0; t < graph.size(); ++t) {
+    deps_[t].store(static_cast<int>(graph.predecessors(t).size()), std::memory_order_relaxed);
+  }
+
+  node_states_.clear();
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    auto ns = std::make_unique<NodeState>();
+    ns->node = n;
+    node_states_.push_back(std::move(ns));
+  }
+  // Seed ready sets with dependency-free tasks.
+  for (TaskId t = 0; t < graph.size(); ++t) {
+    if (deps_[t].load(std::memory_order_relaxed) == 0) {
+      NodeState& ns = *node_states_[static_cast<std::size_t>(assignment_[t])];
+      ns.ready.push_back(t);
+    }
+  }
+  for (auto& ns : node_states_) {
+    std::lock_guard lock(ns->mutex);
+    prefetch_locked(*ns);
+  }
+
+  clock_.restart();
+  std::vector<std::thread> workers;
+  workers.reserve(node_states_.size() * static_cast<std::size_t>(config_.compute_slots_per_node));
+  for (auto& ns : node_states_) {
+    NodeState* state = ns.get();
+    for (int slot = 0; slot < config_.compute_slots_per_node; ++slot) {
+      workers.emplace_back([this, state, slot] { worker_loop(*state, slot); });
+    }
+  }
+  for (auto& w : workers) w.join();
+
+  Report report;
+  report.makespan = clock_.seconds();
+  graph_ = nullptr;
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  DOOC_CHECK(completed_.load() == total_, "engine finished without completing all tasks");
+
+  report.tasks_executed = total_;
+  for (TaskId t = 0; t < graph.size(); ++t) report.total_flops += graph.task(t).est_flops;
+  report.assignment = assignment_;
+  report.trace = std::move(trace_);
+  report.storage = delta(cluster_.total_stats(), stats_before);
+  report.cross_node_bytes =
+      (cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0) -
+      cross_before;
+  return report;
+}
+
+}  // namespace dooc::sched

@@ -1,0 +1,52 @@
+// The global scheduler: the coarse level of DOoC's two-level hierarchy.
+// It walks the task DAG in topological order and assigns every task to a
+// compute node, by default the node "which hosts most of the data required
+// to process" the task (paper §III-C). For inputs that do not exist yet
+// (they are produced by other tasks), the producer's assigned node counts
+// as the host — which is why assignment follows topological order.
+#pragma once
+
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "sched/task.hpp"
+#include "storage/catalog.hpp"
+
+namespace dooc::sched {
+
+/// Resolves where the initial (pre-existing) data lives. Implemented by the
+/// real storage catalog and by the DES testbed model.
+class DataLocator {
+ public:
+  virtual ~DataLocator() = default;
+  /// Home node of an array, or -1 when unknown (not yet created).
+  [[nodiscard]] virtual int home_of(const storage::ArrayName& name) const = 0;
+};
+
+/// DataLocator over the real distributed catalog.
+class CatalogLocator final : public DataLocator {
+ public:
+  explicit CatalogLocator(const storage::DistributedCatalog* catalog) : catalog_(catalog) {}
+  [[nodiscard]] int home_of(const storage::ArrayName& name) const override {
+    auto meta = catalog_->shard_for(name).find(name);
+    return meta ? meta->home_node : -1;
+  }
+
+ private:
+  const storage::DistributedCatalog* catalog_;
+};
+
+class GlobalScheduler {
+ public:
+  GlobalScheduler(int num_nodes, GlobalPolicy policy = GlobalPolicy::Affinity)
+      : num_nodes_(num_nodes), policy_(policy) {}
+
+  /// Returns assignment[task] = node for every task in the graph.
+  [[nodiscard]] std::vector<int> assign(const TaskGraph& graph, const DataLocator& locator) const;
+
+ private:
+  int num_nodes_;
+  GlobalPolicy policy_;
+};
+
+}  // namespace dooc::sched

@@ -1,0 +1,51 @@
+// Local scheduling policies: how a node's local scheduler orders its ready
+// tasks. The paper's local scheduler "reorders the tasks to minimize the
+// cost of memory transfers"; DataAware is that behaviour (prefer tasks
+// whose inputs are already resident — this is what discovers the
+// back-and-forth plan of Fig. 5(b) automatically). Fifo and the static
+// BackAndForth order exist as baselines for the scheduler-policy ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dooc::sched {
+
+enum class LocalPolicy {
+  /// Strict submission order (the "Regular" plan of Fig. 5(a)).
+  Fifo,
+  /// Dynamic: pick the ready task with the most resident input bytes;
+  /// ties broken by submission order. The paper's default.
+  DataAware,
+  /// Static: within even groups (iterations) run by ascending seq, within
+  /// odd groups by descending seq — the hand-crafted plan of Fig. 5(b).
+  BackAndForth,
+};
+
+inline const char* to_string(LocalPolicy p) {
+  switch (p) {
+    case LocalPolicy::Fifo: return "fifo";
+    case LocalPolicy::DataAware: return "data-aware";
+    case LocalPolicy::BackAndForth: return "back-and-forth";
+  }
+  return "?";
+}
+
+/// Global (task → node) assignment strategies.
+enum class GlobalPolicy {
+  /// The paper's heuristic: "tasks are sent to the compute nodes which
+  /// host most of the data required to process them."
+  Affinity,
+  /// Round-robin baseline for the ablation bench.
+  RoundRobin,
+};
+
+inline const char* to_string(GlobalPolicy p) {
+  switch (p) {
+    case GlobalPolicy::Affinity: return "affinity";
+    case GlobalPolicy::RoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+}  // namespace dooc::sched

@@ -1,0 +1,142 @@
+#include "simcluster/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dooc::sim {
+
+ResourceId FlowNetwork::add_resource(std::string name, double capacity) {
+  DOOC_REQUIRE(capacity > 0, "resource '" + name + "' needs positive capacity");
+  resources_.push_back(Resource{std::move(name), capacity});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+FlowId FlowNetwork::start_flow(std::uint64_t bytes, std::vector<ResourceId> resources,
+                               double own_cap) {
+  DOOC_REQUIRE(bytes > 0, "flows must carry at least one byte");
+  for (ResourceId r : resources) {
+    DOOC_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < resources_.size(),
+                 "unknown resource in flow");
+  }
+  Flow f;
+  f.id = next_id_++;
+  f.remaining = static_cast<double>(bytes);
+  f.own_cap = own_cap;
+  f.resources = std::move(resources);
+  flows_.push_back(std::move(f));
+  ++active_;
+  recompute_rates();
+  return flows_.back().id;
+}
+
+void FlowNetwork::recompute_rates() {
+  // Water-filling max-min fairness. Each active flow is additionally capped
+  // by own_cap (modeled as a single-member bottleneck).
+  std::vector<double> residual(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) residual[r] = resources_[r].capacity;
+  std::vector<int> members(resources_.size(), 0);
+  std::vector<Flow*> unfixed;
+  for (auto& f : flows_) {
+    if (f.done) continue;
+    f.rate = 0;
+    unfixed.push_back(&f);
+    for (ResourceId r : f.resources) ++members[static_cast<std::size_t>(r)];
+  }
+
+  while (!unfixed.empty()) {
+    // Bottleneck share: the tightest resource or per-flow cap.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (members[r] > 0) share = std::min(share, residual[r] / members[r]);
+    }
+    bool fixed_any = false;
+    // Flows whose own cap binds below the resource share get their cap.
+    for (auto it = unfixed.begin(); it != unfixed.end();) {
+      Flow* f = *it;
+      if (f->own_cap > 0 && f->own_cap <= share) {
+        f->rate = f->own_cap;
+        for (ResourceId r : f->resources) {
+          residual[static_cast<std::size_t>(r)] -= f->rate;
+          --members[static_cast<std::size_t>(r)];
+        }
+        it = unfixed.erase(it);
+        fixed_any = true;
+      } else {
+        ++it;
+      }
+    }
+    if (fixed_any) continue;
+    if (!std::isfinite(share)) {
+      // No capacitated resource constrains the remaining flows (they have
+      // no resources and no own cap) — run them at an arbitrary high rate.
+      for (Flow* f : unfixed) f->rate = 1e12;
+      break;
+    }
+    // Fix every flow passing through a bottleneck resource at `share`.
+    std::vector<std::size_t> bottlenecks;
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (members[r] > 0 && residual[r] / members[r] <= share * (1 + 1e-12)) {
+        bottlenecks.push_back(r);
+      }
+    }
+    for (auto it = unfixed.begin(); it != unfixed.end();) {
+      Flow* f = *it;
+      const bool hits = std::any_of(f->resources.begin(), f->resources.end(), [&](ResourceId r) {
+        return std::find(bottlenecks.begin(), bottlenecks.end(), static_cast<std::size_t>(r)) !=
+               bottlenecks.end();
+      });
+      if (hits) {
+        f->rate = share;
+        for (ResourceId r : f->resources) {
+          residual[static_cast<std::size_t>(r)] -= f->rate;
+          --members[static_cast<std::size_t>(r)];
+        }
+        it = unfixed.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+double FlowNetwork::next_completion_delta() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    if (f.done || f.rate <= 0) continue;
+    best = std::min(best, f.remaining / f.rate);
+  }
+  return best;
+}
+
+std::vector<FlowId> FlowNetwork::advance(double dt) {
+  std::vector<FlowId> finished;
+  for (auto& f : flows_) {
+    if (f.done) continue;
+    f.remaining -= f.rate * dt;
+    if (f.remaining <= 1e-6) {
+      f.remaining = 0;
+      f.done = true;
+      --active_;
+      finished.push_back(f.id);
+    }
+  }
+  if (!finished.empty()) {
+    // Compact occasionally to keep the vector small on long runs.
+    if (flows_.size() > 4096) {
+      flows_.erase(std::remove_if(flows_.begin(), flows_.end(),
+                                  [](const Flow& f) { return f.done; }),
+                   flows_.end());
+    }
+    recompute_rates();
+  }
+  return finished;
+}
+
+std::uint64_t FlowNetwork::remaining(FlowId id) const {
+  for (const auto& f : flows_) {
+    if (f.id == id) return static_cast<std::uint64_t>(f.remaining);
+  }
+  return 0;
+}
+
+}  // namespace dooc::sim

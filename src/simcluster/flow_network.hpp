@@ -1,0 +1,71 @@
+// Fluid-flow bandwidth model with max-min fairness.
+//
+// Transfers (flows) progress simultaneously; each flow's instantaneous rate
+// is determined by water-filling across the capacitated resources it
+// crosses (GPFS aggregate, per-node GPFS client link, IB egress/ingress,
+// and an optional per-flow cap that models bandwidth noise). Whenever the
+// flow set changes the simulator recomputes rates and advances remaining
+// byte counts by elapsed-time * rate — the standard quasi-static fluid
+// approximation used in network simulators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dooc::sim {
+
+using FlowId = std::uint64_t;
+using ResourceId = int;
+
+class FlowNetwork {
+ public:
+  /// Define a capacitated resource (bytes/s). Returns its id.
+  ResourceId add_resource(std::string name, double capacity);
+
+  /// Start a flow of `bytes` crossing the given resources; `own_cap` is an
+  /// additional per-flow rate cap (0 = none).
+  FlowId start_flow(std::uint64_t bytes, std::vector<ResourceId> resources, double own_cap = 0.0);
+
+  [[nodiscard]] bool has_active_flows() const noexcept { return active_ != 0; }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return active_; }
+
+  /// Recompute max-min fair rates for all active flows.
+  void recompute_rates();
+
+  /// Earliest completion time measured from `now`, or +inf when idle.
+  /// recompute_rates() must be current.
+  [[nodiscard]] double next_completion_delta() const;
+
+  /// Advance all flows by `dt` seconds; returns the ids of flows that
+  /// completed during the step (in completion order is not guaranteed —
+  /// callers treat simultaneous completions as one batch).
+  std::vector<FlowId> advance(double dt);
+
+  /// Remaining bytes of a flow (0 once finished / unknown).
+  [[nodiscard]] std::uint64_t remaining(FlowId id) const;
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity;
+  };
+  struct Flow {
+    FlowId id = 0;
+    double remaining = 0;
+    double rate = 0;
+    double own_cap = 0;
+    std::vector<ResourceId> resources;
+    bool done = false;
+  };
+
+  std::vector<Resource> resources_;
+  std::vector<Flow> flows_;  // compacted lazily
+  std::size_t active_ = 0;
+  FlowId next_id_ = 1;
+};
+
+}  // namespace dooc::sim

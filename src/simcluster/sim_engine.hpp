@@ -1,0 +1,143 @@
+// Discrete-event execution backend: runs a TaskGraph on a *modeled* SSD
+// testbed under virtual time, mirroring the real engine's hierarchical
+// scheduling logic (affinity assignment, per-node ready sets, data-aware
+// ordering, prefetch window) while charging modeled costs:
+//
+//  * durable arrays (sub-matrix files, initial vectors) load through a
+//    shared GPFS modeled as max-min-fair flows over per-node client links
+//    and an aggregate cap — the paper's "20 GB/s peak, 1.4-1.5 GB/s per
+//    client" behaviour, with optional per-flow bandwidth noise standing in
+//    for the "noticeable variation in read bandwidth" the paper reports;
+//  * intermediate arrays travel node-to-node over InfiniBand links
+//    (per-node egress/ingress caps);
+//  * compute charges est_flops at a memory-bound SpMV rate; reductions
+//    charge bytes at memory bandwidth; sync tasks charge a barrier cost
+//    and move no data (control messages only);
+//  * each node has a memory budget; durable arrays are reclaimed LRU,
+//    intermediates are freed when their last reader completes.
+//
+// Used by the Table III / Table IV / Fig. 6 / Fig. 7 benches at paper scale
+// (terabyte matrices) which cannot physically exist in this repository.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sched/global_scheduler.hpp"
+#include "sched/policy.hpp"
+#include "sched/task.hpp"
+#include "simcluster/flow_network.hpp"
+#include "solver/array_creator.hpp"
+
+namespace dooc::sim {
+
+// Calibrated to Table III/IV behaviour (see EXPERIMENTS.md): the GPFS
+// client and aggregate caps are read off the measured read bandwidths
+// (1.5 GB/s at 1 node, ~18.5 GB/s plateau); the reduction throughput
+// (`mem_bw`) and effective IB goodput model the 2012-era filter-stream
+// middleware's per-buffer processing cost, calibrated from the 1-node
+// non-overlapped fraction of Table III (sums of 2.4 GB per iteration
+// explain its ~13% non-overlap only at ~0.25 GB/s effective throughput).
+struct SimResources {
+  int cores_per_node = 8;
+  std::uint64_t node_memory = 20ull << 30;  ///< usable for arrays (of 24 GB)
+  double node_read_cap = 1.5e9;             ///< GPFS client read, bytes/s
+  double aggregate_read_cap = 18.6e9;       ///< GPFS total, bytes/s
+  double ib_link = 0.15e9;                  ///< effective middleware goodput per link
+  double compute_rate = 0.5e9;              ///< flops/s for SpMV (memory bound)
+  double mem_bw = 0.25e9;                   ///< bytes/s for reductions (buffer handling)
+  double task_overhead = 0.005;             ///< scheduling overhead per task, s
+  double sync_cost = 0.5;                   ///< global synchronization cost, s
+  double bw_noise = 0.10;                   ///< per-flow cap factor ~ U[1-noise, 1]
+  /// Concurrent compute filters per node (the real nodes ran multiply and
+  /// sum filters concurrently across their 8 cores).
+  int compute_slots = 2;
+  int prefetch_window = 2;
+  std::uint64_t seed = 42;
+};
+
+struct SimMetrics {
+  double makespan = 0;
+  double gpfs_busy = 0;  ///< seconds with at least one filesystem read active
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t net_bytes = 0;
+  double total_flops = 0;
+  int nodes = 0;
+  int cores_per_node = 8;
+
+  [[nodiscard]] double read_bandwidth() const {
+    return gpfs_busy > 0 ? static_cast<double>(disk_bytes) / gpfs_busy : 0.0;
+  }
+  /// Fraction of the runtime not covered by filesystem I/O — the paper's
+  /// "non-overlapped time" column.
+  [[nodiscard]] double non_overlapped_fraction() const {
+    return makespan > 0 ? std::max(0.0, 1.0 - gpfs_busy / makespan) : 0.0;
+  }
+  [[nodiscard]] double gflops() const { return makespan > 0 ? total_flops / makespan * 1e-9 : 0.0; }
+  [[nodiscard]] double cpu_hours_total() const {
+    return static_cast<double>(nodes) * cores_per_node * makespan / 3600.0;
+  }
+};
+
+class SimEngine {
+ public:
+  SimEngine(int num_nodes, SimResources resources,
+            std::map<std::string, solver::VirtualArray> arrays);
+  ~SimEngine();
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Execute the graph under virtual time. Throws on deadlock (a task whose
+  /// inputs can never materialize).
+  SimMetrics run(const sched::TaskGraph& graph,
+                 sched::LocalPolicy policy = sched::LocalPolicy::DataAware);
+
+ private:
+  struct NodeState;
+
+  /// Runtime state of one (virtual) array during a run.
+  struct ArrayState {
+    std::uint64_t bytes = 0;
+    int home = 0;
+    bool durable = false;
+    int readers_remaining = 0;
+    std::set<int> resident_on;
+    std::set<int> fetching_on;
+  };
+
+  [[nodiscard]] double task_duration(const sched::Task& task) const;
+  void schedule_node(NodeState& ns);
+  bool inputs_resident(const sched::Task& task, int node) const;
+  std::uint64_t resident_input_bytes(const sched::Task& task, int node) const;
+  void ensure_fetch(NodeState& ns, const std::string& array);
+  void make_resident(int node, const std::string& array);
+  void evict_for(NodeState& ns, std::uint64_t incoming);
+  void finish_task(NodeState& ns, sched::TaskId task);
+  void release_reader(const std::string& array);
+
+  int num_nodes_;
+  SimResources res_;
+  std::map<std::string, solver::VirtualArray> meta_;
+  sched::LocalPolicy policy_ = sched::LocalPolicy::DataAware;
+
+  // Per-run state.
+  const sched::TaskGraph* graph_ = nullptr;
+  std::vector<int> assignment_;
+  std::vector<int> deps_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::map<std::string, ArrayState> arrays_;
+  FlowNetwork net_;
+  std::map<FlowId, std::pair<int, std::string>> flow_target_;  // flow -> (node, array)
+  std::set<FlowId> gpfs_flows_;
+  double now_ = 0;
+  std::size_t completed_ = 0;
+  SimMetrics metrics_;
+  std::vector<ResourceId> gpfs_node_link_;
+  ResourceId gpfs_aggregate_ = 0;
+  std::vector<ResourceId> ib_egress_, ib_ingress_;
+  std::uint64_t noise_state_ = 0;
+};
+
+}  // namespace dooc::sim

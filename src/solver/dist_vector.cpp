@@ -1,0 +1,108 @@
+#include "solver/dist_vector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dooc::solver {
+
+template <typename Fn>
+void DistVectorOps::for_each_part(const std::string& base, int index, Fn&& fn) {
+  for (int u = 0; u < grid_.k(); ++u) {
+    const std::string name = part_name(base, index, u);
+    const int node = owner_(u, u);
+    const std::uint64_t bytes = grid_.part_size(u) * sizeof(double);
+    fn(u, node, name, bytes);
+  }
+}
+
+void DistVectorOps::create(const std::string& base, int index,
+                           const std::function<double(std::uint64_t)>& value) {
+  for_each_part(base, index, [&](int u, int node, const std::string& name, std::uint64_t bytes) {
+    auto& store = cluster_.node(node);
+    store.create_array(name, bytes, bytes);
+    auto handle = store.request_write({name, 0, bytes}).get();
+    auto span = handle.as<double>();
+    const std::uint64_t base_index = grid_.part_begin(u);
+    for (std::uint64_t i = 0; i < span.size(); ++i) span[i] = value(base_index + i);
+  });
+}
+
+void DistVectorOps::create_from(const std::string& base, int index,
+                                const std::vector<double>& data) {
+  DOOC_REQUIRE(data.size() == grid_.n(), "dense source size mismatch");
+  create(base, index, [&](std::uint64_t i) { return data[i]; });
+}
+
+std::vector<double> DistVectorOps::gather(const std::string& base, int index) {
+  std::vector<double> out(grid_.n());
+  for_each_part(base, index, [&](int u, int node, const std::string& name, std::uint64_t bytes) {
+    auto handle = cluster_.node(node).request_read({name, 0, bytes}).get();
+    auto span = handle.as<double>();
+    std::copy(span.begin(), span.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(grid_.part_begin(u)));
+  });
+  return out;
+}
+
+double DistVectorOps::dot(const std::string& base_a, int ia, const std::string& base_b, int ib) {
+  double total = 0.0;
+  for_each_part(base_a, ia, [&](int u, int node, const std::string& name, std::uint64_t bytes) {
+    auto ha = cluster_.node(node).request_read({name, 0, bytes}).get();
+    auto hb = cluster_.node(node).request_read({part_name(base_b, ib, u), 0, bytes}).get();
+    auto sa = ha.as<double>();
+    auto sb = hb.as<double>();
+    for (std::size_t i = 0; i < sa.size(); ++i) total += sa[i] * sb[i];
+  });
+  return total;
+}
+
+double DistVectorOps::norm2(const std::string& base, int index) {
+  return std::sqrt(dot(base, index, base, index));
+}
+
+void DistVectorOps::axpy_into(std::vector<double>& y_dense, double c, const std::string& base,
+                              int index) {
+  DOOC_REQUIRE(y_dense.size() == grid_.n(), "dense operand size mismatch");
+  for_each_part(base, index, [&](int u, int node, const std::string& name, std::uint64_t bytes) {
+    auto handle = cluster_.node(node).request_read({name, 0, bytes}).get();
+    auto span = handle.as<double>();
+    double* y = y_dense.data() + grid_.part_begin(u);
+    for (std::size_t i = 0; i < span.size(); ++i) y[i] += c * span[i];
+  });
+}
+
+double DistVectorOps::dot_dense(const std::vector<double>& y_dense, const std::string& base,
+                                int index) {
+  DOOC_REQUIRE(y_dense.size() == grid_.n(), "dense operand size mismatch");
+  double total = 0.0;
+  for_each_part(base, index, [&](int u, int node, const std::string& name, std::uint64_t bytes) {
+    auto handle = cluster_.node(node).request_read({name, 0, bytes}).get();
+    auto span = handle.as<double>();
+    const double* y = y_dense.data() + grid_.part_begin(u);
+    for (std::size_t i = 0; i < span.size(); ++i) total += y[i] * span[i];
+  });
+  return total;
+}
+
+void DistVectorOps::flush(const std::string& base, int index) {
+  for_each_part(base, index, [&](int /*u*/, int node, const std::string& name, std::uint64_t) {
+    cluster_.node(node).flush_array(name);
+  });
+}
+
+void DistVectorOps::remove(const std::string& base, int index) {
+  for_each_part(base, index, [&](int /*u*/, int node, const std::string& name, std::uint64_t) {
+    cluster_.node(node).delete_array(name);
+  });
+}
+
+bool DistVectorOps::exists(const std::string& base, int index) {
+  bool all = true;
+  for_each_part(base, index, [&](int /*u*/, int node, const std::string& name, std::uint64_t) {
+    if (!cluster_.node(node).array_meta(name).has_value()) all = false;
+  });
+  return all;
+}
+
+}  // namespace dooc::solver

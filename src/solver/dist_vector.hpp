@@ -1,0 +1,70 @@
+// Distributed vector helpers for the iterative solvers.
+//
+// A distributed vector is a family of K single-block arrays (one per grid
+// row partition) living in the DOoC storage layer. Solvers use these
+// helpers for the BLAS-1 work between out-of-core SpMV steps: reading
+// parts (which may stream back from scratch files — Lanczos basis vectors
+// are flushed and LRU-evicted, making the reorthogonalization itself an
+// out-of-core computation), creating new immutable iterates, and the dot
+// products / norms that drive convergence.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spmv/block_grid.hpp"
+
+namespace dooc::solver {
+
+class DistVectorOps {
+ public:
+  DistVectorOps(storage::StorageCluster& cluster, const spmv::BlockGrid& grid,
+                spmv::BlockOwner owner)
+      : cluster_(cluster), grid_(grid), owner_(std::move(owner)) {}
+
+  /// Name of part u of vector (base, index).
+  [[nodiscard]] static std::string part_name(const std::string& base, int index, int part) {
+    return spmv::BlockGrid::vector_name(base, index, part);
+  }
+
+  /// Create vector (base, index) from a functor of the global element index.
+  void create(const std::string& base, int index,
+              const std::function<double(std::uint64_t)>& value);
+  /// Create vector (base, index) from a dense source.
+  void create_from(const std::string& base, int index, const std::vector<double>& data);
+
+  /// Gather the whole vector to the caller.
+  [[nodiscard]] std::vector<double> gather(const std::string& base, int index);
+
+  /// dot((base_a, ia), (base_b, ib)) — parts are read where they live.
+  [[nodiscard]] double dot(const std::string& base_a, int ia, const std::string& base_b, int ib);
+  [[nodiscard]] double norm2(const std::string& base, int index);
+
+  /// y_dense -= c * (base, index): stream the stored vector into a dense
+  /// working copy (this is the reorthogonalization axpy).
+  void axpy_into(std::vector<double>& y_dense, double c, const std::string& base, int index);
+  /// dot between a dense working vector and a stored one.
+  [[nodiscard]] double dot_dense(const std::vector<double>& y_dense, const std::string& base,
+                                 int index);
+
+  /// Flush every part to its home scratch file (making it evictable — this
+  /// is what lets a long Lanczos basis exceed memory).
+  void flush(const std::string& base, int index);
+  /// Delete every part.
+  void remove(const std::string& base, int index);
+  /// True when every part exists in the catalog.
+  [[nodiscard]] bool exists(const std::string& base, int index);
+
+  [[nodiscard]] const spmv::BlockGrid& grid() const noexcept { return grid_; }
+
+ private:
+  template <typename Fn>
+  void for_each_part(const std::string& base, int index, Fn&& fn);
+
+  storage::StorageCluster& cluster_;
+  spmv::BlockGrid grid_;
+  spmv::BlockOwner owner_;
+};
+
+}  // namespace dooc::solver

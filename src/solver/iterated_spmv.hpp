@@ -1,0 +1,100 @@
+// The paper's use case (§IV): iterated sparse matrix-vector multiplication
+// y = A x over a K×K block grid, expressed as a DAG of multiply / sum tasks
+// for the DOoC scheduler.
+//
+// Per iteration i (Fig. 3): K² multiplies  x^i_{u,v} = A_{u,v} * x^{i-1}_v
+// followed by K reductions  x^i_u = Σ_v x^i_{u,v}.
+//
+// Two strategies reproduce the paper's two experiments:
+//  * Simple (Table III): partials go straight to the reducer on the node
+//    hosting A_{u,0}, with a global synchronization after the SpMV phase
+//    and another after the reduction phase.
+//  * Interleaved (Table IV): the post-SpMV synchronization is removed (so
+//    reductions interleave with multiplies), and each node first aggregates
+//    its own partials for a row before communicating ("the reduction is
+//    first performed locally by each node").
+// An optional inter-iteration synchronization models the reorthogonalization
+// barrier of a real Lanczos iteration; switching it off reproduces the
+// fully-asynchronous Gantt chart of Fig. 5(b).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/engine.hpp"
+#include "solver/array_creator.hpp"
+#include "spmv/block_grid.hpp"
+
+namespace dooc::solver {
+
+enum class ReductionMode {
+  Simple,       ///< Table III: direct reduction + post-SpMV global sync
+  Interleaved,  ///< Table IV: local aggregation, no post-SpMV sync
+};
+
+struct IteratedSpmvConfig {
+  int iterations = 2;
+  ReductionMode mode = ReductionMode::Interleaved;
+  /// Barrier between iterations (the Lanczos reorthogonalization point).
+  bool inter_iteration_sync = true;
+  /// Base name of the distributed vector; iteration `first_iteration - 1`
+  /// parts (vector_name(base, first_iteration - 1, u)) must exist before
+  /// run().
+  std::string vector_base = "x";
+  /// Index of the first iteration this graph performs (defaults to 1, i.e.
+  /// the input is iteration 0). Lets solvers chain single-step graphs:
+  /// Lanczos step j runs {first_iteration = j+1, iterations = 1}.
+  int first_iteration = 1;
+};
+
+class IteratedSpmv {
+ public:
+  /// Builds the task graph against the real storage layer. The initial
+  /// vector arrays must already exist; intermediate and result arrays are
+  /// created here.
+  IteratedSpmv(storage::StorageCluster& cluster, const spmv::DeployedMatrix& matrix,
+               IteratedSpmvConfig config);
+
+  /// Graph-only variant: arrays are created through `creator` (e.g. a
+  /// VirtualArrayCreator for the testbed simulator). gather_result() and
+  /// cleanup_intermediates() are unavailable in this mode.
+  IteratedSpmv(ArrayCreator& creator, const spmv::DeployedMatrix& matrix,
+               IteratedSpmvConfig config);
+
+  [[nodiscard]] sched::TaskGraph& graph() noexcept { return graph_; }
+  [[nodiscard]] const IteratedSpmvConfig& config() const noexcept { return config_; }
+
+  /// Execute on the real backend and return the engine report.
+  sched::Report run(sched::Engine& engine) { return engine.run(graph_); }
+
+  /// Result vector of the final iteration, gathered to the caller.
+  [[nodiscard]] std::vector<double> gather_result();
+
+  /// Delete every intermediate array this driver created (partials,
+  /// aggregates, sync tokens and non-final iterates).
+  void cleanup_intermediates();
+
+  /// The emitted command list, Fig. 3 style ("x_{0,0}^1 = A_{0,0} * x_0^0").
+  [[nodiscard]] std::string command_list() const;
+  /// The derived dependencies, Fig. 4 style ("x_0^1 <- x_{0,0}^1 (A_{0,0})").
+  [[nodiscard]] std::string dependency_list() const;
+
+  /// Total floating-point work of one iteration (2 flops per non-zero plus
+  /// the reduction adds).
+  [[nodiscard]] double flops_per_iteration() const noexcept { return flops_per_iteration_; }
+
+ private:
+  void build();
+  void create_vector_array(const std::string& name, int home_node, std::uint64_t bytes);
+
+  storage::StorageCluster* cluster_ = nullptr;  ///< null in graph-only mode
+  std::unique_ptr<StorageArrayCreator> owned_creator_;
+  ArrayCreator* creator_ = nullptr;
+  const spmv::DeployedMatrix& matrix_;
+  IteratedSpmvConfig config_;
+  sched::TaskGraph graph_;
+  std::vector<std::string> created_arrays_;
+  double flops_per_iteration_ = 0.0;
+};
+
+}  // namespace dooc::solver

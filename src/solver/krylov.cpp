@@ -1,0 +1,235 @@
+#include "solver/krylov.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "spmv/kernels.hpp"
+
+namespace dooc::solver {
+
+namespace {
+
+spmv::BlockOwner owner_of(const spmv::DeployedMatrix& matrix) {
+  // Vector parts live with the diagonal blocks (as in create_distributed_vector).
+  return [&matrix](int u, int v) { return matrix.owner_of(u, v); };
+}
+
+}  // namespace
+
+void SpmvStepper::step(int j) {
+  IteratedSpmvConfig config;
+  config.iterations = 1;
+  config.first_iteration = j + 1;
+  config.mode = mode_;
+  config.inter_iteration_sync = false;  // single step; the solver is the barrier
+  config.vector_base = base_;
+  IteratedSpmv spmv(cluster_, matrix_, config);
+  spmv.run(engine_);
+  spmv.cleanup_intermediates();  // partials & aggregates; keeps (base, j+1)
+}
+
+// ---------------------------------------------------------------------------
+// Lanczos
+// ---------------------------------------------------------------------------
+
+Lanczos::Lanczos(storage::StorageCluster& cluster, const spmv::DeployedMatrix& matrix,
+                 sched::Engine& engine, LanczosOptions options)
+    : cluster_(cluster),
+      matrix_(matrix),
+      engine_(engine),
+      options_(std::move(options)),
+      vecs_(cluster, matrix.grid, owner_of(matrix)),
+      stepper_(cluster, matrix, engine, options_.base) {
+  DOOC_REQUIRE(options_.max_iterations >= 1, "need at least one Lanczos iteration");
+  DOOC_REQUIRE(options_.num_eigenvalues >= 1, "need at least one wanted eigenvalue");
+}
+
+LanczosResult Lanczos::run() {
+  const std::string& base = options_.base;
+  const std::uint64_t n = matrix_.grid.n();
+
+  // v_0: random normalized start vector.
+  {
+    SplitMix64 rng(options_.seed);
+    std::vector<double> v0(n);
+    double norm_sq = 0.0;
+    for (auto& x : v0) {
+      x = rng.next_double() - 0.5;
+      norm_sq += x * x;
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& x : v0) x *= inv;
+    vecs_.create_from(base, 0, v0);
+    if (options_.flush_basis) vecs_.flush(base, 0);
+  }
+
+  LanczosResult result;
+  for (int j = 0; j < options_.max_iterations; ++j) {
+    // w = A v_j (out-of-core distributed SpMV).
+    stepper_.step(j);
+    std::vector<double> w = vecs_.gather(base, j + 1);
+    vecs_.remove(base, j + 1);  // replaced below by the normalized v_{j+1}
+
+    // Three-term recurrence.
+    const double alpha = vecs_.dot_dense(w, base, j);
+    result.alpha.push_back(alpha);
+    vecs_.axpy_into(w, -alpha, base, j);
+    if (j > 0) vecs_.axpy_into(w, -result.beta[static_cast<std::size_t>(j) - 1], base, j - 1);
+
+    if (options_.full_reorthogonalization) {
+      // Classical Gram-Schmidt sweep against the whole stored basis; basis
+      // vectors stream back from scratch files when evicted.
+      for (int i = 0; i <= j; ++i) {
+        const double c = vecs_.dot_dense(w, base, i);
+        if (c != 0.0) vecs_.axpy_into(w, -c, base, i);
+      }
+    }
+
+    double beta = 0.0;
+    for (double x : w) beta += x * x;
+    beta = std::sqrt(beta);
+
+    // Ritz values and residual bounds from the projected tridiagonal T_j.
+    const TridiagEigen eig = tridiag_eigen(result.alpha, result.beta);
+    const int wanted = std::min<int>(options_.num_eigenvalues, eig.k);
+    result.eigenvalues.assign(eig.values.begin(), eig.values.begin() + wanted);
+    result.residuals.clear();
+    bool all_converged = eig.k >= options_.num_eigenvalues;
+    for (int i = 0; i < wanted; ++i) {
+      const double res = std::abs(beta * eig.last_component(i));
+      result.residuals.push_back(res);
+      if (res > options_.tolerance) all_converged = false;
+    }
+    result.iterations = j + 1;
+
+    if (all_converged || beta < 1e-14 || j + 1 == options_.max_iterations) {
+      result.converged = all_converged || beta < 1e-14;
+      break;
+    }
+
+    // v_{j+1} = w / beta.
+    const double inv = 1.0 / beta;
+    for (auto& x : w) x *= inv;
+    result.beta.push_back(beta);
+    vecs_.create_from(base, j + 1, w);
+    if (options_.flush_basis) vecs_.flush(base, j + 1);
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> Lanczos::compute_eigenvectors(const LanczosResult& result,
+                                                               int count) {
+  DOOC_REQUIRE(result.iterations >= 1, "run() must precede compute_eigenvectors()");
+  const TridiagEigen eig = tridiag_eigen(result.alpha, result.beta);
+  const int wanted = std::min<int>(count, eig.k);
+  const std::uint64_t n = matrix_.grid.n();
+  std::vector<std::vector<double>> ritz(static_cast<std::size_t>(wanted),
+                                        std::vector<double>(n, 0.0));
+  // y_i = sum_j V_j * s_{j,i}: stream each basis vector once.
+  const int basis = static_cast<int>(result.alpha.size());
+  for (int j = 0; j < basis; ++j) {
+    const std::vector<double> vj = vecs_.gather(options_.base, j);
+    for (int i = 0; i < wanted; ++i) {
+      const double s = eig.vectors[static_cast<std::size_t>(j) * eig.k + i];
+      double* y = ritz[static_cast<std::size_t>(i)].data();
+      for (std::uint64_t e = 0; e < n; ++e) y[e] += s * vj[e];
+    }
+  }
+  return ritz;
+}
+
+// ---------------------------------------------------------------------------
+// Conjugate gradient
+// ---------------------------------------------------------------------------
+
+CgResult conjugate_gradient(storage::StorageCluster& cluster, const spmv::DeployedMatrix& matrix,
+                            sched::Engine& engine, const std::vector<double>& b,
+                            const CgOptions& options) {
+  const std::uint64_t n = matrix.grid.n();
+  DOOC_REQUIRE(b.size() == n, "right-hand side has wrong dimension");
+  DistVectorOps vecs(cluster, matrix.grid, [&matrix](int u, int v) { return matrix.owner_of(u, v); });
+  SpmvStepper stepper(cluster, matrix, engine, options.base);
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  double rho = spmv::dot(r, r);
+  const double b_norm = std::sqrt(spmv::dot(b, b));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int j = 0; j < options.max_iterations; ++j) {
+    vecs.create_from(options.base, j, p);
+    stepper.step(j);
+    const std::vector<double> q = vecs.gather(options.base, j + 1);  // q = A p
+    vecs.remove(options.base, j);
+    vecs.remove(options.base, j + 1);
+
+    const double pq = spmv::dot(p, q);
+    DOOC_REQUIRE(pq > 0, "matrix is not positive definite along the search direction");
+    const double alpha = rho / pq;
+    spmv::axpy(alpha, p, result.x);
+    spmv::axpy(-alpha, q, r);
+    const double rho_next = spmv::dot(r, r);
+    const double rel = std::sqrt(rho_next) / b_norm;
+    result.residual_history.push_back(rel);
+    result.iterations = j + 1;
+    if (rel < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::uint64_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Power iteration
+// ---------------------------------------------------------------------------
+
+PowerIterationResult power_iteration(storage::StorageCluster& cluster,
+                                     const spmv::DeployedMatrix& matrix, sched::Engine& engine,
+                                     int max_iterations, double tolerance, std::uint64_t seed,
+                                     const std::string& base) {
+  const std::uint64_t n = matrix.grid.n();
+  DistVectorOps vecs(cluster, matrix.grid, [&matrix](int u, int v) { return matrix.owner_of(u, v); });
+  SpmvStepper stepper(cluster, matrix, engine, base);
+
+  SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double() - 0.5;
+  double norm = std::sqrt(spmv::dot(v, v));
+  for (auto& x : v) x /= norm;
+
+  PowerIterationResult result;
+  double lambda_prev = 0.0;
+  for (int j = 0; j < max_iterations; ++j) {
+    vecs.create_from(base, j, v);
+    stepper.step(j);
+    std::vector<double> av = vecs.gather(base, j + 1);
+    vecs.remove(base, j);
+    vecs.remove(base, j + 1);
+
+    const double lambda = spmv::dot(v, av);  // Rayleigh quotient
+    norm = std::sqrt(spmv::dot(av, av));
+    DOOC_REQUIRE(norm > 0, "matrix annihilated the iterate");
+    for (std::uint64_t i = 0; i < n; ++i) v[i] = av[i] / norm;
+    result.iterations = j + 1;
+    result.eigenvalue = lambda;
+    if (j > 0 && std::abs(lambda - lambda_prev) < tolerance * std::abs(lambda)) {
+      result.converged = true;
+      break;
+    }
+    lambda_prev = lambda;
+  }
+  result.eigenvector = std::move(v);
+  return result;
+}
+
+}  // namespace dooc::solver

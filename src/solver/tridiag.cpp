@@ -1,0 +1,121 @@
+#include "solver/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dooc::solver {
+
+namespace {
+
+double hypot_stable(double a, double b) { return std::hypot(a, b); }
+
+/// Implicit QL with Wilkinson shift. d: diagonal (modified in place to the
+/// eigenvalues), e: sub-diagonal (e[0..n-2] used, destroyed), z: nullptr or
+/// an n×n row-major matrix accumulating the similarity transforms.
+void tqli(std::vector<double>& d, std::vector<double>& e, std::vector<double>* z) {
+  const int n = static_cast<int>(d.size());
+  if (n == 0) return;
+  e.resize(static_cast<std::size_t>(n), 0.0);  // pad the trailing slot
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        DOOC_CHECK(++iter <= 50, "tridiagonal QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot_stable(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (int i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot_stable(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Recover from an underflow in the rotation chain.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (int row = 0; row < n; ++row) {
+              const std::size_t a = static_cast<std::size_t>(row) * n + i;
+              f = (*z)[a + 1];
+              (*z)[a + 1] = s * (*z)[a] + c * f;
+              (*z)[a] = c * (*z)[a] - s * f;
+            }
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+/// Sort eigenvalues ascending, permuting eigenvector columns alongside.
+void sort_eigen(std::vector<double>& d, std::vector<double>* z) {
+  const int n = static_cast<int>(d.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) { return d[a] < d[b]; });
+  std::vector<double> ds(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ds[static_cast<std::size_t>(i)] = d[order[static_cast<std::size_t>(i)]];
+  d = std::move(ds);
+  if (z != nullptr) {
+    std::vector<double> zs(z->size());
+    for (int row = 0; row < n; ++row) {
+      for (int col = 0; col < n; ++col) {
+        zs[static_cast<std::size_t>(row) * n + col] =
+            (*z)[static_cast<std::size_t>(row) * n + order[static_cast<std::size_t>(col)]];
+      }
+    }
+    *z = std::move(zs);
+  }
+}
+
+}  // namespace
+
+TridiagEigen tridiag_eigen(const std::vector<double>& alpha, const std::vector<double>& beta) {
+  DOOC_REQUIRE(beta.size() + 1 == alpha.size() || (alpha.empty() && beta.empty()),
+               "beta must have one fewer entry than alpha");
+  TridiagEigen out;
+  out.k = static_cast<int>(alpha.size());
+  out.values = alpha;
+  std::vector<double> e = beta;
+  out.vectors.assign(static_cast<std::size_t>(out.k) * out.k, 0.0);
+  for (int i = 0; i < out.k; ++i) out.vectors[static_cast<std::size_t>(i) * out.k + i] = 1.0;
+  tqli(out.values, e, &out.vectors);
+  sort_eigen(out.values, &out.vectors);
+  return out;
+}
+
+std::vector<double> tridiag_eigenvalues(const std::vector<double>& alpha,
+                                        const std::vector<double>& beta) {
+  DOOC_REQUIRE(beta.size() + 1 == alpha.size() || (alpha.empty() && beta.empty()),
+               "beta must have one fewer entry than alpha");
+  std::vector<double> d = alpha;
+  std::vector<double> e = beta;
+  tqli(d, e, nullptr);
+  sort_eigen(d, nullptr);
+  return d;
+}
+
+}  // namespace dooc::solver

@@ -1,0 +1,34 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+//
+// Lanczos projects the huge sparse operator onto a k-dimensional Krylov
+// subspace; the small projected problem T is tridiagonal with the Lanczos
+// alphas on the diagonal and betas off it. Its eigenvalues approximate the
+// extremal eigenvalues of the original operator; the *last components* of
+// its eigenvectors give the standard residual bound |beta_k * s_k|.
+#pragma once
+
+#include <vector>
+
+namespace dooc::solver {
+
+struct TridiagEigen {
+  std::vector<double> values;  ///< ascending eigenvalues
+  /// Row-major eigenvector matrix Z (k×k): column j is the eigenvector of
+  /// values[j]; Z[(k-1)*k + j] is its last component.
+  std::vector<double> vectors;
+  int k = 0;
+
+  [[nodiscard]] double last_component(int j) const { return vectors[(k - 1) * k + j]; }
+};
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `alpha` (size k) and off-diagonal `beta` (size k-1, beta[i] couples
+/// rows i and i+1). Throws on convergence failure (pathological input).
+[[nodiscard]] TridiagEigen tridiag_eigen(const std::vector<double>& alpha,
+                                         const std::vector<double>& beta);
+
+/// Eigenvalues only (same algorithm, no eigenvector accumulation).
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(const std::vector<double>& alpha,
+                                                      const std::vector<double>& beta);
+
+}  // namespace dooc::solver

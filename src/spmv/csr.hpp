@@ -1,0 +1,87 @@
+// Compressed Row Storage (CRS/CSR) sparse matrices.
+//
+// Two forms:
+//  * CsrMatrix — owning, mutable; produced by generators and tests.
+//  * CsrView  — non-owning view over the binary CRS byte layout (the
+//    paper's on-disk sub-matrix format). A storage ReadHandle's bytes can
+//    be viewed directly, so an out-of-core multiply never copies the
+//    matrix after it reaches memory.
+//
+// Binary CRS layout (little-endian, 8-byte aligned):
+//   u64 magic      'DCRSBIN1'
+//   u64 endian     0x0102030405060708 (readers reject foreign byte order)
+//   u64 rows, cols, nnz
+//   u64 row_ptr[rows+1]
+//   u32 col_idx[nnz]      (padded to 8 bytes)
+//   f64 values[nnz]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dooc::spmv {
+
+constexpr std::uint64_t kCsrMagic = 0x44435253'42494E31ull;  // "DCRSBIN1"
+constexpr std::uint64_t kEndianProbe = 0x0102030405060708ull;
+
+struct CsrMatrix {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::vector<std::uint64_t> row_ptr;  // size rows+1
+  std::vector<std::uint32_t> col_idx;  // size nnz
+  std::vector<double> values;          // size nnz
+
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return col_idx.size(); }
+
+  /// Structural sanity: monotone row_ptr, in-range sorted column indices.
+  void validate() const;
+
+  /// Size of this matrix in the binary CRS byte layout.
+  [[nodiscard]] std::uint64_t serialized_bytes() const noexcept;
+
+  /// y = A x (serial). Spans must match dimensions.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+};
+
+/// Non-owning view over binary CRS bytes.
+class CsrView {
+ public:
+  CsrView() = default;
+
+  /// Parse the layout; throws IoError on bad magic/endianness/truncation.
+  static CsrView from_bytes(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::span<const std::uint64_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const std::uint32_t> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  [[nodiscard]] bool valid() const noexcept { return rows_ != 0 || cols_ != 0; }
+
+  /// y = A x over rows [row_begin, row_end) — the splittable unit the
+  /// local scheduler hands to multiple compute threads.
+  void multiply_rows(std::span<const double> x, std::span<double> y, std::uint64_t row_begin,
+                     std::uint64_t row_end) const;
+  /// y = A x over all rows (serial).
+  void multiply(std::span<const double> x, std::span<double> y) const {
+    multiply_rows(x, y, 0, rows_);
+  }
+
+ private:
+  std::uint64_t rows_ = 0, cols_ = 0, nnz_ = 0;
+  std::span<const std::uint64_t> row_ptr_;
+  std::span<const std::uint32_t> col_idx_;
+  std::span<const double> values_;
+};
+
+/// Serialize to the binary CRS layout (appends to `out`).
+void serialize_csr(const CsrMatrix& m, std::vector<std::byte>& out);
+
+/// Convenience: round-trip an owning matrix out of a view.
+CsrMatrix materialize(const CsrView& view);
+
+}  // namespace dooc::spmv

@@ -1,0 +1,170 @@
+#include "spmv/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace dooc::spmv {
+
+double choose_gap_parameter(std::uint64_t rows, std::uint64_t cols, std::uint64_t target_nnz) {
+  DOOC_REQUIRE(rows > 0 && cols > 0 && target_nnz > 0, "degenerate generator parameters");
+  const double per_row = static_cast<double>(target_nnz) / static_cast<double>(rows);
+  DOOC_REQUIRE(per_row <= static_cast<double>(cols),
+               "nnz target exceeds the matrix capacity");
+  // mean gap g = cols / per_row; gaps ~ U[1, 2d] have mean (1 + 2d)/2.
+  const double mean_gap = static_cast<double>(cols) / per_row;
+  const double d = std::max(0.5, mean_gap - 0.5);
+  return d;
+}
+
+CsrMatrix generate_uniform_gap(std::uint64_t rows, std::uint64_t cols, double d,
+                               std::uint64_t seed) {
+  DOOC_REQUIRE(d >= 0.5, "gap parameter must be >= 0.5");
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  const std::uint64_t hi = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(2.0 * d));
+  SplitMix64 rng(seed);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    // First entry: offset uniform in [0, gap) so the expected column
+    // coverage is unbiased; then march by gaps uniform in [1, 2d].
+    std::uint64_t c = rng.next_below(hi);
+    while (c < cols) {
+      m.col_idx.push_back(static_cast<std::uint32_t>(c));
+      m.values.push_back(rng.next_double() * 2.0 - 1.0);
+      c += rng.next_in(1, hi);
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+CsrMatrix generate_banded(std::uint64_t n, std::uint64_t half_bandwidth, double diagonal) {
+  CsrMatrix m;
+  m.rows = n;
+  m.cols = n;
+  m.row_ptr.reserve(n + 1);
+  m.row_ptr.push_back(0);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const std::uint64_t lo = r >= half_bandwidth ? r - half_bandwidth : 0;
+    const std::uint64_t hi = std::min(n - 1, r + half_bandwidth);
+    for (std::uint64_t c = lo; c <= hi; ++c) {
+      m.col_idx.push_back(static_cast<std::uint32_t>(c));
+      m.values.push_back(c == r ? diagonal
+                                : 1.0 / (1.0 + static_cast<double>(c > r ? c - r : r - c)));
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+CsrMatrix generate_laplacian_1d(std::uint64_t n) {
+  CsrMatrix m;
+  m.rows = n;
+  m.cols = n;
+  m.row_ptr.push_back(0);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    if (r > 0) {
+      m.col_idx.push_back(static_cast<std::uint32_t>(r - 1));
+      m.values.push_back(-1.0);
+    }
+    m.col_idx.push_back(static_cast<std::uint32_t>(r));
+    m.values.push_back(2.0);
+    if (r + 1 < n) {
+      m.col_idx.push_back(static_cast<std::uint32_t>(r + 1));
+      m.values.push_back(-1.0);
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+CsrMatrix extract_block(const CsrMatrix& m, std::uint64_t row0, std::uint64_t rows,
+                        std::uint64_t col0, std::uint64_t cols) {
+  DOOC_REQUIRE(row0 + rows <= m.rows && col0 + cols <= m.cols, "block out of range");
+  CsrMatrix b;
+  b.rows = rows;
+  b.cols = cols;
+  b.row_ptr.reserve(rows + 1);
+  b.row_ptr.push_back(0);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t k = m.row_ptr[row0 + r]; k < m.row_ptr[row0 + r + 1]; ++k) {
+      const std::uint64_t c = m.col_idx[k];
+      if (c >= col0 && c < col0 + cols) {
+        b.col_idx.push_back(static_cast<std::uint32_t>(c - col0));
+        b.values.push_back(m.values[k]);
+      }
+    }
+    b.row_ptr.push_back(b.col_idx.size());
+  }
+  return b;
+}
+
+}  // namespace dooc::spmv
+
+namespace dooc::spmv {
+
+CsrMatrix extract_lower_triangle(const CsrMatrix& m) {
+  DOOC_REQUIRE(m.rows == m.cols, "lower triangle needs a square matrix");
+  CsrMatrix out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.row_ptr.push_back(0);
+  for (std::uint64_t r = 0; r < m.rows; ++r) {
+    for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      if (m.col_idx[k] <= r) {
+        out.col_idx.push_back(m.col_idx[k]);
+        out.values.push_back(m.values[k]);
+      }
+    }
+    out.row_ptr.push_back(out.col_idx.size());
+  }
+  return out;
+}
+
+CsrMatrix symmetrize(const CsrMatrix& m) {
+  DOOC_REQUIRE(m.rows == m.cols, "symmetrize needs a square matrix");
+  // Gather (i, j, v) for both A and A^T, then merge duplicates with 0.5x.
+  struct Entry {
+    std::uint64_t r;
+    std::uint32_t c;
+    double v;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(2 * m.nnz());
+  for (std::uint64_t r = 0; r < m.rows; ++r) {
+    for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      entries.push_back({r, m.col_idx[k], 0.5 * m.values[k]});
+      entries.push_back({m.col_idx[k], static_cast<std::uint32_t>(r), 0.5 * m.values[k]});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.r, a.c) < std::tie(b.r, b.c);
+  });
+  CsrMatrix out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.row_ptr.push_back(0);
+  std::uint64_t row = 0;
+  for (const auto& e : entries) {
+    while (row < e.r) {
+      out.row_ptr.push_back(out.col_idx.size());
+      ++row;
+    }
+    if (out.col_idx.size() > out.row_ptr.back() && out.col_idx.back() == e.c) {
+      out.values.back() += e.v;
+    } else {
+      out.col_idx.push_back(e.c);
+      out.values.push_back(e.v);
+    }
+  }
+  while (row < out.rows) {
+    out.row_ptr.push_back(out.col_idx.size());
+    ++row;
+  }
+  return out;
+}
+
+}  // namespace dooc::spmv

@@ -1,0 +1,75 @@
+#include "spmv/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dooc::spmv {
+
+void multiply_parallel(const CsrView& a, std::span<const double> x, std::span<double> y,
+                       ThreadPool& pool) {
+  if (pool.size() <= 1 || a.rows() < 1024) {
+    a.multiply(x, y);
+    return;
+  }
+  pool.parallel_ranges(a.rows(), [&](std::size_t begin, std::size_t end) {
+    a.multiply_rows(x, y, begin, end);
+  });
+}
+
+void sum_vectors(std::span<const std::span<const double>> parts, std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const auto& part : parts) {
+    DOOC_REQUIRE(part.size() == out.size(), "partial vector size mismatch in reduction");
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += part[i];
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  DOOC_REQUIRE(a.size() == b.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  DOOC_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  DOOC_REQUIRE(src.size() == dst.size(), "copy size mismatch");
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+}
+
+}  // namespace dooc::spmv
+
+namespace dooc::spmv {
+
+void multiply_symmetric_half(const CsrView& lower, std::span<const double> x,
+                             std::span<double> y) {
+  DOOC_REQUIRE(lower.rows() == lower.cols(), "half-stored matrix must be square");
+  DOOC_REQUIRE(x.size() >= lower.cols() && y.size() >= lower.rows(),
+               "operand size mismatch in symmetric multiply");
+  std::fill(y.begin(), y.end(), 0.0);
+  const auto rp = lower.row_ptr();
+  const auto ci = lower.col_idx();
+  const auto va = lower.values();
+  for (std::uint64_t r = 0; r < lower.rows(); ++r) {
+    double acc = 0.0;
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::uint32_t c = ci[k];
+      DOOC_REQUIRE(c <= r, "half-stored matrix has an upper-triangle entry");
+      acc += va[k] * x[c];
+      if (c != r) y[c] += va[k] * x[r];  // the mirrored (c, r) entry
+    }
+    y[r] += acc;
+  }
+}
+
+}  // namespace dooc::spmv

@@ -1,0 +1,42 @@
+// Dense vector kernels used by the iterative solvers, plus the threaded
+// SpMV entry point task bodies call with the node's split pool.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "spmv/csr.hpp"
+
+namespace dooc::spmv {
+
+/// y = A x, rows split across the pool ("the local scheduler decomposes the
+/// tasks to expose more parallelism", realized as row-range splitting).
+void multiply_parallel(const CsrView& a, std::span<const double> x, std::span<double> y,
+                       ThreadPool& pool);
+
+/// out[i] = sum_k parts[k][i] — the reduction combining partial SpMV
+/// results; parts must all have out.size() elements.
+void sum_vectors(std::span<const std::span<const double>> parts, std::span<double> out);
+
+// Small BLAS-1 helpers (serial; the vectors in play are node-local).
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);   // y += alpha x
+void scale(std::span<double> x, double alpha);                             // x *= alpha
+void copy(std::span<const double> src, std::span<double> dst);
+
+}  // namespace dooc::spmv
+
+namespace dooc::spmv {
+
+/// y = A x for a symmetric matrix of which only the lower triangle
+/// (diagonal included) is stored — MFDn's half-storage scheme (§II: the
+/// Hamiltonian is symmetric, so the in-core code keeps ~half the bytes,
+/// which is where Table I's ~8.5 bytes/non-zero comes from). Each stored
+/// off-diagonal entry (i, j) contributes to both y_i and y_j; the scatter
+/// to y_j makes this kernel inherently serial per output vector.
+void multiply_symmetric_half(const CsrView& lower, std::span<const double> x,
+                             std::span<double> y);
+
+}  // namespace dooc::spmv

@@ -1,0 +1,132 @@
+#include "spmv/matrix_market.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace dooc::spmv {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw IoError("matrix market: empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw IoError("matrix market: missing %%MatrixMarket banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    throw IoError("matrix market: only 'matrix coordinate' is supported");
+  }
+  const std::string f = lower(field);
+  const bool pattern = f == "pattern";
+  if (!pattern && f != "real" && f != "integer") {
+    throw IoError("matrix market: unsupported field '" + field + "'");
+  }
+  const std::string sym = lower(symmetry);
+  const bool symmetric = sym == "symmetric";
+  if (!symmetric && sym != "general") {
+    throw IoError("matrix market: unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments, read the size line.
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries)) throw IoError("matrix market: bad size line");
+    break;
+  }
+  if (rows == 0 || cols == 0) throw IoError("matrix market: missing size line");
+  DOOC_REQUIRE(cols <= 0xFFFFFFFFull, "matrix market: too many columns for 32-bit indices");
+
+  struct Entry {
+    std::uint64_t r;
+    std::uint32_t c;
+    double v;
+  };
+  std::vector<Entry> triples;
+  triples.reserve(symmetric ? entries * 2 : entries);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    std::uint64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw IoError("matrix market: truncated entry list");
+    if (!pattern && !(in >> v)) throw IoError("matrix market: truncated entry list");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw IoError("matrix market: entry out of bounds");
+    }
+    triples.push_back({r - 1, static_cast<std::uint32_t>(c - 1), v});
+    if (symmetric && r != c) {
+      triples.push_back({c - 1, static_cast<std::uint32_t>(r - 1), v});
+    }
+  }
+  std::sort(triples.begin(), triples.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.r, a.c) < std::tie(b.r, b.c);
+  });
+
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(1, 0);
+  m.row_ptr.reserve(rows + 1);
+  m.col_idx.reserve(triples.size());
+  m.values.reserve(triples.size());
+  std::uint64_t row = 0;
+  for (const auto& e : triples) {
+    while (row < e.r) {
+      m.row_ptr.push_back(m.col_idx.size());
+      ++row;
+    }
+    // Duplicate coordinates are summed (the Matrix Market convention).
+    // row_ptr.back() is the start of the current row: a previous entry in
+    // this row with the same column is necessarily col_idx.back().
+    if (m.col_idx.size() > m.row_ptr.back() && m.col_idx.back() == e.c) {
+      m.values.back() += e.v;
+      continue;
+    }
+    m.col_idx.push_back(e.c);
+    m.values.push_back(e.v);
+  }
+  while (row < rows) {
+    m.row_ptr.push_back(m.col_idx.size());
+    ++row;
+  }
+  return m;
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open matrix market file '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by dooc\n";
+  out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (std::uint64_t r = 0; r < m.rows; ++r) {
+    for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      out << (r + 1) << ' ' << (m.col_idx[k] + 1) << ' ' << m.values[k] << '\n';
+    }
+  }
+  if (!out) throw IoError("matrix market: write failed");
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create matrix market file '" + path + "'");
+  write_matrix_market(out, m);
+}
+
+}  // namespace dooc::spmv

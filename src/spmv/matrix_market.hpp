@@ -1,0 +1,25 @@
+// Matrix Market (.mtx) interchange I/O — the standard exchange format for
+// sparse matrices, so real matrices (SuiteSparse, NIST) can be dropped into
+// the middleware and deployed as binary-CSR grids.
+//
+// Supported: "matrix coordinate real {general|symmetric}" (symmetric files
+// are expanded to full storage on read) and "matrix coordinate pattern"
+// (values default to 1.0). Writers emit coordinate real general, 1-based.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spmv/csr.hpp"
+
+namespace dooc::spmv {
+
+/// Parse a Matrix Market stream. Throws IoError on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate/real/general form.
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace dooc::spmv

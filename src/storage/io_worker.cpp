@@ -1,0 +1,155 @@
+#include "storage/io_worker.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dooc::storage {
+
+namespace {
+
+class ScopedFd {
+ public:
+  ScopedFd(const std::string& path, int flags, mode_t mode = 0644)
+      : fd_(::open(path.c_str(), flags, mode)) {
+    if (fd_ < 0) {
+      throw IoError("open('" + path + "') failed: " + std::strerror(errno));
+    }
+  }
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+std::uint64_t now_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw)
+    : throttle_read_bw_(throttle_read_bw) {
+  DOOC_REQUIRE(num_workers > 0, "need at least one I/O worker");
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+IoWorkerPool::~IoWorkerPool() {
+  jobs_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<DataBuffer> IoWorkerPool::read(std::string path, std::uint64_t offset,
+                                           std::uint64_t length) {
+  Job job;
+  job.is_read = true;
+  job.path = std::move(path);
+  job.offset = offset;
+  job.length = length;
+  auto fut = job.read_done.get_future();
+  const bool ok = jobs_.push(std::move(job));
+  DOOC_CHECK(ok, "I/O pool already shut down");
+  return fut;
+}
+
+std::future<void> IoWorkerPool::write(std::string path, std::uint64_t offset, DataBuffer data) {
+  Job job;
+  job.is_read = false;
+  job.path = std::move(path);
+  job.offset = offset;
+  job.data = std::move(data);
+  auto fut = job.write_done.get_future();
+  const bool ok = jobs_.push(std::move(job));
+  DOOC_CHECK(ok, "I/O pool already shut down");
+  return fut;
+}
+
+void IoWorkerPool::worker_loop() {
+  while (auto job = jobs_.pop()) {
+    if (job->is_read) {
+      try {
+        do_read(*job);
+      } catch (...) {
+        job->read_done.set_exception(std::current_exception());
+      }
+    } else {
+      try {
+        do_write(*job);
+      } catch (...) {
+        job->write_done.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+void IoWorkerPool::do_read(Job& job) {
+  const std::uint64_t t0 = now_nanos();
+  ScopedFd fd(job.path, O_RDONLY);
+  DataBuffer buffer(job.length);
+  std::uint64_t done = 0;
+  while (done < job.length) {
+    const ssize_t n = ::pread(fd.get(), buffer.data() + done, job.length - done,
+                              static_cast<off_t>(job.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("pread('" + job.path + "') failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("pread('" + job.path + "'): short read (file smaller than catalog size?)");
+    }
+    done += static_cast<std::uint64_t>(n);
+  }
+  const std::uint64_t t1 = now_nanos();
+  if (throttle_read_bw_ > 0.0) {
+    const double want_seconds = static_cast<double>(job.length) / throttle_read_bw_;
+    const double spent = static_cast<double>(t1 - t0) * 1e-9;
+    if (want_seconds > spent) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(want_seconds - spent));
+    }
+  }
+  read_nanos_.fetch_add(now_nanos() - t0, std::memory_order_relaxed);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(job.length, std::memory_order_relaxed);
+  job.read_done.set_value(std::move(buffer));
+}
+
+void IoWorkerPool::do_write(Job& job) {
+  const std::uint64_t t0 = now_nanos();
+  ScopedFd fd(job.path, O_WRONLY | O_CREAT);
+  std::uint64_t done = 0;
+  const std::uint64_t total = job.data.size();
+  while (done < total) {
+    const ssize_t n = ::pwrite(fd.get(), job.data.data() + done, total - done,
+                               static_cast<off_t>(job.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("pwrite('" + job.path + "') failed: " + std::strerror(errno));
+    }
+    done += static_cast<std::uint64_t>(n);
+  }
+  write_nanos_.fetch_add(now_nanos() - t0, std::memory_order_relaxed);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(total, std::memory_order_relaxed);
+  job.write_done.set_value();
+}
+
+}  // namespace dooc::storage

@@ -1,0 +1,76 @@
+// The asynchronous I/O filter of the paper: "Interactions with the
+// filesystem (both read and write) are performed by a separate I/O filter
+// ... allows the interactions with the file system to be completely
+// asynchronous. There should be as many I/O filters as is necessary to
+// efficiently use the parallelism contained in the I/O subsystem."
+//
+// IoWorkerPool runs N worker threads draining a job queue of block-granular
+// pread/pwrite operations against per-array scratch files.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/queue.hpp"
+#include "storage/types.hpp"
+
+namespace dooc::storage {
+
+class IoWorkerPool {
+ public:
+  /// `throttle_read_bw` (bytes/s; 0 = off) inserts sleeps to emulate a slow
+  /// device on fast local filesystems.
+  explicit IoWorkerPool(int num_workers, double throttle_read_bw = 0.0);
+  ~IoWorkerPool();
+
+  IoWorkerPool(const IoWorkerPool&) = delete;
+  IoWorkerPool& operator=(const IoWorkerPool&) = delete;
+
+  /// Asynchronously read [offset, offset+length) of `path` into a fresh
+  /// buffer. The future throws IoError on failure (missing file, short read).
+  std::future<DataBuffer> read(std::string path, std::uint64_t offset, std::uint64_t length);
+
+  /// Asynchronously write `data` at [offset, offset+data.size()) of `path`,
+  /// creating the file (and growing it) as needed.
+  std::future<void> write(std::string path, std::uint64_t offset, DataBuffer data);
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t read_bytes() const noexcept { return read_bytes_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t write_bytes() const noexcept { return write_bytes_.load(std::memory_order_relaxed); }
+  /// Cumulative seconds worker threads spent inside filesystem calls.
+  [[nodiscard]] double read_seconds() const noexcept { return as_seconds(read_nanos_); }
+  [[nodiscard]] double write_seconds() const noexcept { return as_seconds(write_nanos_); }
+
+ private:
+  struct Job {
+    bool is_read = false;
+    std::string path;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;  // reads only
+    DataBuffer data;           // writes only
+    std::promise<DataBuffer> read_done;
+    std::promise<void> write_done;
+  };
+
+  void worker_loop();
+  void do_read(Job& job);
+  void do_write(Job& job);
+
+  static double as_seconds(const std::atomic<std::uint64_t>& nanos) noexcept {
+    return static_cast<double>(nanos.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  BlockingQueue<Job> jobs_;
+  std::vector<std::thread> workers_;
+  double throttle_read_bw_;
+  std::atomic<std::uint64_t> reads_{0}, read_bytes_{0}, writes_{0}, write_bytes_{0};
+  std::atomic<std::uint64_t> read_nanos_{0}, write_nanos_{0};
+};
+
+}  // namespace dooc::storage

@@ -1,0 +1,60 @@
+#include "storage/storage_cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace dooc::storage {
+
+StorageCluster::StorageCluster(int num_nodes, const StorageConfig& base,
+                               df::TransportStats* transport)
+    : transport_(transport) {
+  DOOC_REQUIRE(num_nodes > 0, "storage cluster needs at least one node");
+  shards_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) shards_.push_back(std::make_unique<CatalogShard>());
+  std::vector<CatalogShard*> shard_ptrs;
+  shard_ptrs.reserve(shards_.size());
+  for (auto& s : shards_) shard_ptrs.push_back(s.get());
+  catalog_ = std::make_unique<DistributedCatalog>(std::move(shard_ptrs));
+
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    StorageConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(i) * 1000003;
+    nodes_.push_back(std::make_unique<StorageNode>(i, cfg, catalog_.get(), transport));
+  }
+  std::vector<StorageNode*> peers;
+  peers.reserve(nodes_.size());
+  for (auto& n : nodes_) peers.push_back(n.get());
+  for (auto& n : nodes_) n->set_peers(peers);
+}
+
+StorageCluster::~StorageCluster() = default;
+
+StorageStats StorageCluster::total_stats() {
+  StorageStats total;
+  for (auto& n : nodes_) {
+    const StorageStats s = n->stats();
+    total.disk_reads += s.disk_reads;
+    total.disk_read_bytes += s.disk_read_bytes;
+    total.disk_writes += s.disk_writes;
+    total.disk_write_bytes += s.disk_write_bytes;
+    total.remote_fetches += s.remote_fetches;
+    total.remote_fetch_bytes += s.remote_fetch_bytes;
+    total.evictions += s.evictions;
+    total.evicted_bytes += s.evicted_bytes;
+    total.lookup_hops += s.lookup_hops;
+    total.read_requests += s.read_requests;
+    total.write_requests += s.write_requests;
+    total.prefetch_requests += s.prefetch_requests;
+    total.disk_read_seconds += s.disk_read_seconds;
+    total.disk_write_seconds += s.disk_write_seconds;
+  }
+  return total;
+}
+
+std::uint64_t StorageCluster::total_resident_bytes() {
+  std::uint64_t total = 0;
+  for (auto& n : nodes_) total += n->resident_bytes();
+  return total;
+}
+
+}  // namespace dooc::storage

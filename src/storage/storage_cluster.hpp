@@ -1,0 +1,40 @@
+// Convenience owner of the whole distributed storage layer: one catalog
+// shard and one storage node per virtual node, wired peer-to-peer
+// ("complete peer-to-peer connections between them" — paper Fig. 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataflow/transport.hpp"
+#include "storage/storage_node.hpp"
+
+namespace dooc::storage {
+
+class StorageCluster {
+ public:
+  /// `base` is cloned per node (each gets its own scratch subdirectory and
+  /// a derived RNG seed).
+  StorageCluster(int num_nodes, const StorageConfig& base, df::TransportStats* transport = nullptr);
+  ~StorageCluster();
+
+  StorageCluster(const StorageCluster&) = delete;
+  StorageCluster& operator=(const StorageCluster&) = delete;
+
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] StorageNode& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] DistributedCatalog& catalog() noexcept { return *catalog_; }
+  [[nodiscard]] df::TransportStats* transport() noexcept { return transport_; }
+
+  /// Aggregate statistics over all nodes.
+  [[nodiscard]] StorageStats total_stats();
+  [[nodiscard]] std::uint64_t total_resident_bytes();
+
+ private:
+  std::vector<std::unique_ptr<CatalogShard>> shards_;
+  std::unique_ptr<DistributedCatalog> catalog_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  df::TransportStats* transport_ = nullptr;
+};
+
+}  // namespace dooc::storage

@@ -1,0 +1,141 @@
+#include "storage/storage_filter.hpp"
+
+namespace dooc::storage {
+
+namespace {
+
+DataBuffer encode_header(StorageOp op, const ArrayName& name) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(op));
+  w.put_string(name);
+  return w.take();
+}
+
+}  // namespace
+
+DataBuffer encode_create(const ArrayName& name, std::uint64_t size, std::uint64_t block_size) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(StorageOp::kCreateArray));
+  w.put_string(name);
+  w.put<std::uint64_t>(size);
+  w.put<std::uint64_t>(block_size);
+  return w.take();
+}
+
+DataBuffer encode_write(const ArrayName& name, std::uint64_t offset,
+                        std::span<const std::byte> payload) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(StorageOp::kWriteSeal));
+  w.put_string(name);
+  w.put<std::uint64_t>(offset);
+  w.put<std::uint64_t>(payload.size());
+  w.put_raw(payload.data(), payload.size());
+  return w.take();
+}
+
+DataBuffer encode_read(const ArrayName& name, std::uint64_t offset, std::uint64_t length) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(StorageOp::kRead));
+  w.put_string(name);
+  w.put<std::uint64_t>(offset);
+  w.put<std::uint64_t>(length);
+  return w.take();
+}
+
+DataBuffer encode_prefetch(const ArrayName& name, std::uint64_t offset, std::uint64_t length) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(StorageOp::kPrefetch));
+  w.put_string(name);
+  w.put<std::uint64_t>(offset);
+  w.put<std::uint64_t>(length);
+  return w.take();
+}
+
+DataBuffer encode_delete(const ArrayName& name) {
+  return encode_header(StorageOp::kDeleteArray, name);
+}
+
+StorageReply decode_reply(const df::Message& message) {
+  StorageReply reply;
+  BinaryReader r(message.payload);
+  reply.status = static_cast<StorageStatus>(r.get<std::uint32_t>());
+  if (reply.status != StorageStatus::kOk) {
+    reply.error = r.get_string();
+    return reply;
+  }
+  const auto n = r.get<std::uint64_t>();
+  DataBuffer data(n);
+  if (n != 0) r.get_raw(data.data(), n);
+  reply.data = std::move(data);
+  return reply;
+}
+
+df::Message StorageServiceFilter::handle(const df::Message& request) {
+  BinaryWriter reply;
+  try {
+    BinaryReader r(request.payload);
+    const auto op = static_cast<StorageOp>(r.get<std::uint32_t>());
+    const std::string name = r.get_string();
+    switch (op) {
+      case StorageOp::kCreateArray: {
+        const auto size = r.get<std::uint64_t>();
+        const auto block = r.get<std::uint64_t>();
+        node_->create_array(name, size, block);
+        reply.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kOk));
+        reply.put<std::uint64_t>(0);
+        break;
+      }
+      case StorageOp::kWriteSeal: {
+        const auto offset = r.get<std::uint64_t>();
+        const auto length = r.get<std::uint64_t>();
+        auto handle = node_->request_write({name, offset, length}).get();
+        r.get_raw(handle.bytes().data(), length);
+        handle.release();
+        reply.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kOk));
+        reply.put<std::uint64_t>(0);
+        break;
+      }
+      case StorageOp::kRead: {
+        const auto offset = r.get<std::uint64_t>();
+        const auto length = r.get<std::uint64_t>();
+        auto handle = node_->request_read({name, offset, length}).get();
+        reply.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kOk));
+        reply.put<std::uint64_t>(length);
+        reply.put_raw(handle.bytes().data(), length);
+        break;
+      }
+      case StorageOp::kPrefetch: {
+        const auto offset = r.get<std::uint64_t>();
+        const auto length = r.get<std::uint64_t>();
+        node_->prefetch({name, offset, length});
+        reply.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kOk));
+        reply.put<std::uint64_t>(0);
+        break;
+      }
+      case StorageOp::kDeleteArray: {
+        node_->delete_array(name);
+        reply.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kOk));
+        reply.put<std::uint64_t>(0);
+        break;
+      }
+      default:
+        throw InvalidArgument("unknown storage op");
+    }
+  } catch (const std::exception& e) {
+    BinaryWriter error;
+    error.put<std::uint32_t>(static_cast<std::uint32_t>(StorageStatus::kError));
+    error.put_string(e.what());
+    return df::Message(error.take(), request.tag);
+  }
+  return df::Message(reply.take(), request.tag);
+}
+
+void StorageServiceFilter::run(df::FilterContext& ctx) {
+  auto& in = ctx.input("requests");
+  auto& out = ctx.output("responses");
+  while (auto request = in.receive()) {
+    out.send(handle(*request));
+  }
+}
+
+}  // namespace dooc::storage

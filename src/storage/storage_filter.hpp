@@ -1,0 +1,68 @@
+// The storage subsystem as a dataflow filter.
+//
+// Paper §III-B: "the implementation in DataCutter is achieved by making the
+// storage subsystem a specific filter and all filters that need to interact
+// with the storage have a bidirectional link to it. This allows all the
+// interactions with the storage layer to be asynchronous."
+//
+// The library's hot paths use StorageNode's native handle API directly (the
+// engine threads are the compute filters), but this adapter exposes the
+// same operations over filter streams for applications written purely in
+// the filter-stream model: a StorageServiceFilter instance serves
+// serialized requests arriving on its "requests" port and answers on
+// "responses". Requests carry a caller-chosen tag echoed in the response,
+// so a client can pipeline many asynchronous requests — the paper's
+// asynchrony at the message level.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "dataflow/filter.hpp"
+#include "storage/storage_node.hpp"
+
+namespace dooc::storage {
+
+enum class StorageOp : std::uint32_t {
+  kCreateArray = 1,  ///< name, size, block_size
+  kWriteSeal = 2,    ///< name, offset, payload — write one interval and seal
+  kRead = 3,         ///< name, offset, length — reply carries the bytes
+  kPrefetch = 4,     ///< name, offset, length — fire and forget (still acked)
+  kDeleteArray = 5,  ///< name
+};
+
+enum class StorageStatus : std::uint32_t { kOk = 0, kError = 1 };
+
+/// Build a request message payload.
+DataBuffer encode_create(const ArrayName& name, std::uint64_t size, std::uint64_t block_size);
+DataBuffer encode_write(const ArrayName& name, std::uint64_t offset,
+                        std::span<const std::byte> payload);
+DataBuffer encode_read(const ArrayName& name, std::uint64_t offset, std::uint64_t length);
+DataBuffer encode_prefetch(const ArrayName& name, std::uint64_t offset, std::uint64_t length);
+DataBuffer encode_delete(const ArrayName& name);
+
+/// Decoded response: status, optional error text, optional data bytes.
+struct StorageReply {
+  StorageStatus status = StorageStatus::kOk;
+  std::string error;
+  DataBuffer data;  ///< read results
+
+  [[nodiscard]] bool ok() const noexcept { return status == StorageStatus::kOk; }
+};
+StorageReply decode_reply(const df::Message& message);
+
+/// The storage filter: owns no data itself, serves one StorageNode.
+/// Ports: input "requests", output "responses" (tag echoed).
+class StorageServiceFilter final : public df::Filter {
+ public:
+  explicit StorageServiceFilter(StorageNode* node) : node_(node) {}
+
+  void run(df::FilterContext& ctx) override;
+
+ private:
+  df::Message handle(const df::Message& request);
+
+  StorageNode* node_;
+};
+
+}  // namespace dooc::storage

@@ -1,0 +1,659 @@
+#include "storage/storage_node.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/log.hpp"
+
+namespace dooc::storage {
+
+namespace fs = std::filesystem;
+using detail::Block;
+using detail::BlockState;
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+ReadHandle::ReadHandle(ReadHandle&& other) noexcept { *this = std::move(other); }
+
+ReadHandle& ReadHandle::operator=(ReadHandle&& other) noexcept {
+  release();
+  node_ = other.node_;
+  block_ = std::move(other.block_);
+  interval_ = other.interval_;
+  other.node_ = nullptr;
+  other.block_.reset();
+  return *this;
+}
+
+ReadHandle::~ReadHandle() { release(); }
+
+void ReadHandle::release() {
+  if (node_ != nullptr && block_) {
+    node_->unpin_read(block_);
+  }
+  node_ = nullptr;
+  block_.reset();
+}
+
+std::span<const std::byte> ReadHandle::bytes() const {
+  DOOC_REQUIRE(node_ != nullptr && block_, "bytes() on a released read handle");
+  const std::uint64_t in_block = interval_.offset - block_->block_start;
+  return {block_->data.data() + in_block, interval_.length};
+}
+
+WriteHandle::WriteHandle(WriteHandle&& other) noexcept { *this = std::move(other); }
+
+WriteHandle& WriteHandle::operator=(WriteHandle&& other) noexcept {
+  release();
+  node_ = other.node_;
+  block_ = std::move(other.block_);
+  interval_ = other.interval_;
+  other.node_ = nullptr;
+  other.block_.reset();
+  return *this;
+}
+
+WriteHandle::~WriteHandle() { release(); }
+
+void WriteHandle::release() {
+  if (node_ != nullptr && block_) {
+    node_->release_write(interval_.array, block_);
+  }
+  node_ = nullptr;
+  block_.reset();
+}
+
+std::span<std::byte> WriteHandle::bytes() {
+  DOOC_REQUIRE(node_ != nullptr && block_, "bytes() on a released write handle");
+  const std::uint64_t in_block = interval_.offset - block_->block_start;
+  return {block_->data.data() + in_block, interval_.length};
+}
+
+// ---------------------------------------------------------------------------
+// StorageNode
+// ---------------------------------------------------------------------------
+
+StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* catalog,
+                         df::TransportStats* transport)
+    : id_(node_id),
+      config_(std::move(config)),
+      catalog_(catalog),
+      transport_(transport),
+      io_(config_.io_workers, config_.throttle_read_bw),
+      fetchers_(static_cast<std::size_t>(config_.io_workers)),
+      rng_(config_.seed ^ (0x9e37u * static_cast<std::uint64_t>(node_id + 1))),
+      lookup_rng_state_(config_.seed + static_cast<std::uint64_t>(node_id) * 7919) {
+  DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
+  scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
+  fs::create_directories(scratch_dir_);
+}
+
+StorageNode::~StorageNode() = default;
+
+std::string StorageNode::file_path_for(const ArrayName& name) const {
+  return scratch_dir_ + "/" + name;
+}
+
+// ---- array management ------------------------------------------------------
+
+void StorageNode::create_array(const ArrayName& name, std::uint64_t size,
+                               std::uint64_t block_size) {
+  DOOC_REQUIRE(!name.empty() && name.find('/') == std::string::npos,
+               "array name must be a non-empty filename-safe string");
+  DOOC_REQUIRE(size > 0, "array '" + name + "' must have a positive size");
+  ArrayMeta meta;
+  meta.name = name;
+  meta.size = size;
+  meta.block_size = block_size != 0 ? block_size : config_.default_block_size;
+  meta.home_node = id_;
+  meta.path = file_path_for(name);
+  register_meta(meta, /*all_durable=*/false);
+}
+
+void StorageNode::import_file(const ArrayName& name, const std::string& path,
+                              std::uint64_t block_size) {
+  DOOC_REQUIRE(!name.empty() && name.find('/') == std::string::npos,
+               "array name must be a non-empty filename-safe string");
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) throw IoError("import_file('" + path + "'): " + ec.message());
+  DOOC_REQUIRE(size > 0, "cannot import empty file '" + path + "'");
+  ArrayMeta meta;
+  meta.name = name;
+  meta.size = size;
+  meta.block_size = block_size != 0 ? block_size : config_.default_block_size;
+  meta.home_node = id_;
+  meta.path = path;
+  register_meta(meta, /*all_durable=*/true);
+}
+
+void StorageNode::register_meta(const ArrayMeta& meta, bool all_durable) {
+  catalog_->shard_for(meta.name).register_array(meta, all_durable, /*authoritative=*/true);
+  const int authority = catalog_->authority_of(meta.name);
+  if (authority != meta.home_node) {
+    catalog_->shard(meta.home_node).register_array(meta, all_durable, /*authoritative=*/false);
+  }
+  std::lock_guard lock(mutex_);
+  meta_cache_[meta.name] = meta;
+}
+
+std::size_t StorageNode::scan_scratch() {
+  std::size_t registered = 0;
+  for (const auto& entry : fs::directory_iterator(scratch_dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (catalog_->shard_for(name).find(name)) continue;  // already known
+    if (entry.file_size() == 0) continue;
+    import_file(name, entry.path().string());
+    ++registered;
+  }
+  return registered;
+}
+
+void StorageNode::delete_array(const ArrayName& name) {
+  const ArrayMeta meta = resolve_meta(name);
+  // Drop resident state everywhere first (asserts there are no pins).
+  drop_array_local(name);
+  for (StorageNode* peer : peers_) {
+    if (peer != nullptr && peer != this) peer->drop_array_local(name);
+  }
+  catalog_->shard_for(name).unregister_array(name);
+  if (catalog_->authority_of(name) != meta.home_node) {
+    catalog_->shard(meta.home_node).unregister_array(name);
+  }
+  std::error_code ec;
+  fs::remove(meta.path, ec);  // may not exist (never flushed) — fine
+}
+
+void StorageNode::drop_array_local(const ArrayName& name) {
+  std::vector<BlockKey> dropped;
+  {
+    std::lock_guard lock(mutex_);
+    meta_cache_.erase(name);
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      if (it->first.array == name) {
+        DOOC_REQUIRE(it->second->read_pins == 0 && it->second->write_pins == 0,
+                     "delete_array('" + name + "') with outstanding pins");
+        if (it->second->data.size() != 0) resident_bytes_ -= it->second->bytes;
+        dropped.push_back(it->first);
+        it = blocks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& key : dropped) catalog_->shard_for(name).drop_holder(key, id_);
+}
+
+std::optional<ArrayMeta> StorageNode::array_meta(const ArrayName& name) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = meta_cache_.find(name);
+    if (it != meta_cache_.end()) return it->second;
+  }
+  auto result = catalog_->lookup(name, id_, config_.lookup, &lookup_rng_state_);
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.lookup_hops += static_cast<std::uint64_t>(result.hops);
+  }
+  if (result.meta) {
+    std::lock_guard lock(mutex_);
+    meta_cache_[name] = *result.meta;
+  }
+  return result.meta;
+}
+
+ArrayMeta StorageNode::resolve_meta(const ArrayName& name) {
+  auto meta = array_meta(name);
+  DOOC_REQUIRE(meta.has_value(), "unknown array '" + name + "'");
+  return *meta;
+}
+
+std::uint64_t StorageNode::check_interval(const ArrayMeta& meta, const Interval& iv) {
+  DOOC_REQUIRE(iv.length > 0, "empty interval on array '" + meta.name + "'");
+  DOOC_REQUIRE(iv.end() <= meta.size,
+               "interval [" + std::to_string(iv.offset) + ", " + std::to_string(iv.end()) +
+                   ") exceeds array '" + meta.name + "' of size " + std::to_string(meta.size));
+  const std::uint64_t first = iv.offset / meta.block_size;
+  const std::uint64_t last = (iv.end() - 1) / meta.block_size;
+  DOOC_REQUIRE(first == last,
+               "interval spans blocks " + std::to_string(first) + ".." + std::to_string(last) +
+                   " of array '" + meta.name + "'; use one interval per block");
+  return first;
+}
+
+// ---- read path ---------------------------------------------------------------
+
+std::future<ReadHandle> StorageNode::request_read(const Interval& iv) {
+  const ArrayMeta meta = resolve_meta(iv.array);
+  const std::uint64_t b = check_interval(meta, iv);
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.read_requests;
+  }
+
+  std::promise<ReadHandle> promise;
+  auto future = promise.get_future();
+
+  std::unique_lock lock(mutex_);
+  const BlockKey key{iv.array, b};
+  auto it = blocks_.find(key);
+  if (it != blocks_.end() && it->second->state == BlockState::Resident && it->second->sealed) {
+    Block& blk = *it->second;
+    ++blk.read_pins;
+    blk.lru_tick = ++tick_;
+    promise.set_value(ReadHandle(this, it->second, iv));
+    return future;
+  }
+  BlockPtr block;
+  if (it != blocks_.end()) {
+    block = it->second;
+  } else {
+    block = std::make_shared<Block>();
+    block->key = key;
+    block->bytes = meta.block_bytes(b);
+    block->block_start = b * meta.block_size;
+    block->state = BlockState::Loading;
+    blocks_.emplace(key, block);
+  }
+  block->read_waiters.emplace_back(iv, std::move(promise));
+  if (block->state == BlockState::Loading && !block->fetch_inflight) {
+    block->fetch_inflight = true;
+    schedule_fetch(meta, block);
+  }
+  return future;
+}
+
+void StorageNode::prefetch(const Interval& iv) {
+  const ArrayMeta meta = resolve_meta(iv.array);
+  const std::uint64_t b = check_interval(meta, iv);
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.prefetch_requests;
+  }
+  std::unique_lock lock(mutex_);
+  const BlockKey key{iv.array, b};
+  auto it = blocks_.find(key);
+  if (it != blocks_.end()) {
+    if (it->second->state == BlockState::Resident) it->second->lru_tick = ++tick_;
+    if (it->second->state == BlockState::Loading && !it->second->fetch_inflight) {
+      it->second->fetch_inflight = true;
+      schedule_fetch(meta, it->second);
+    }
+    return;
+  }
+  auto block = std::make_shared<Block>();
+  block->key = key;
+  block->bytes = meta.block_bytes(b);
+  block->block_start = b * meta.block_size;
+  block->state = BlockState::Loading;
+  block->fetch_inflight = true;
+  blocks_.emplace(key, block);
+  schedule_fetch(meta, block);
+}
+
+void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block) {
+  // Runs on a fetcher thread; holds no locks while touching peers/disk.
+  fetchers_.submit([this, meta, block] { fetch_job(meta, block); });
+}
+
+void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
+  try {
+    const BlockKey key = block->key;
+    const BlockInfo info = catalog_->shard_for(key.array).block_info(key);
+
+    // 1) A peer holds a sealed in-memory copy — fetch it over the "wire".
+    for (int holder : info.holders) {
+      if (holder == id_) continue;
+      StorageNode* peer = peers_[static_cast<std::size_t>(holder)];
+      std::uint64_t got = 0;
+      DataBuffer data = peer->fetch_block(key, id_, &got);
+      if (got != 0) {
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.remote_fetches;
+          stats_.remote_fetch_bytes += got;
+        }
+        install_payload(meta, block, std::move(data), info.durable);
+        return;
+      }
+      // Holder evicted concurrently; fall through to other options.
+    }
+
+    // 2) The block is durable at its home node.
+    if (info.durable) {
+      if (meta.home_node == id_) {
+        DataBuffer data =
+            io_.read(meta.path, key.block * meta.block_size, block->bytes).get();
+        install_payload(meta, block, std::move(data), /*durable=*/true);
+      } else {
+        StorageNode* home = peers_[static_cast<std::size_t>(meta.home_node)];
+        std::uint64_t got = 0;
+        DataBuffer data = home->fetch_block(key, id_, &got);
+        if (got == 0) throw IoError("home node could not produce block of '" + key.array + "'");
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.remote_fetches;
+          stats_.remote_fetch_bytes += got;
+        }
+        install_payload(meta, block, std::move(data), /*durable=*/true);
+      }
+      return;
+    }
+
+    // 3) Nobody has produced the block yet: wait for a holder to appear.
+    if (++block->fetch_attempts > kMaxFetchAttempts) {
+      throw IoError("giving up fetching block " + std::to_string(key.block) + " of '" +
+                    key.array + "' after repeated attempts");
+    }
+    catalog_->shard_for(key.array).await_block(key, [this, meta, block](const BlockKey&) {
+      // Fires on the sealing thread (outside every lock); bounce back onto
+      // a fetcher thread to retry the whole decision.
+      fetchers_.submit([this, meta, block] { fetch_job(meta, block); });
+    });
+  } catch (...) {
+    fail_block(block, std::current_exception());
+  }
+}
+
+void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
+                                  bool durable) {
+  DOOC_CHECK(data.size() == block->bytes, "payload size mismatch installing block");
+  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  {
+    std::lock_guard lock(mutex_);
+    if (block->state != BlockState::Loading) return;  // raced with delete
+    reclaim_locked(block->bytes);
+    block->data = std::move(data);
+    block->state = BlockState::Resident;
+    block->sealed = true;
+    block->durable = durable;
+    block->fetch_inflight = false;
+    block->load_seq = ++load_seq_;
+    block->lru_tick = ++tick_;
+    resident_bytes_ += block->bytes;
+    waiters = std::move(block->read_waiters);
+    block->read_waiters.clear();
+    block->read_pins += static_cast<int>(waiters.size());
+  }
+  for (auto& [iv, promise] : waiters) {
+    promise.set_value(ReadHandle(this, block, iv));
+  }
+  // Outside mutex_: note_holder may fire awaiter callbacks synchronously.
+  catalog_->shard_for(meta.name).note_holder(block->key, id_);
+}
+
+void StorageNode::fail_block(const BlockPtr& block, std::exception_ptr error) {
+  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  {
+    std::lock_guard lock(mutex_);
+    waiters = std::move(block->read_waiters);
+    block->read_waiters.clear();
+    block->fetch_inflight = false;
+    blocks_.erase(block->key);
+  }
+  for (auto& [iv, promise] : waiters) {
+    promise.set_exception(error);
+  }
+  DOOC_LOG(Warn, "storage[" + std::to_string(id_) + "]")
+      << "fetch of block " << block->key.block << " of '" << block->key.array << "' failed";
+}
+
+DataBuffer StorageNode::fetch_block(const BlockKey& key, int requester, std::uint64_t* bytes_out) {
+  *bytes_out = 0;
+  DataBuffer copy;
+  std::uint64_t size = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = blocks_.find(key);
+    if (it != blocks_.end() && it->second->state == BlockState::Resident && it->second->sealed) {
+      copy = it->second->data.clone();
+      size = it->second->bytes;
+      it->second->lru_tick = ++tick_;
+    }
+  }
+  if (size == 0) {
+    // Not resident: if we are the home node and the block is durable,
+    // stream it straight from disk without caching (the paper's I/O nodes
+    // stream to requesting compute nodes).
+    auto meta = array_meta(key.array);
+    if (meta && meta->home_node == id_) {
+      const BlockInfo info = catalog_->shard_for(key.array).block_info(key);
+      if (info.durable) {
+        const std::uint64_t want = meta->block_bytes(key.block);
+        copy = io_.read(meta->path, key.block * meta->block_size, want).get();
+        size = want;
+      }
+    }
+  }
+  if (size != 0 && transport_ != nullptr && requester != id_) {
+    transport_->record(id_, requester, size);
+  }
+  *bytes_out = size;
+  return copy;
+}
+
+// ---- write path --------------------------------------------------------------
+
+std::future<WriteHandle> StorageNode::request_write(const Interval& iv) {
+  const ArrayMeta meta = resolve_meta(iv.array);
+  const std::uint64_t b = check_interval(meta, iv);
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.write_requests;
+  }
+  std::promise<WriteHandle> promise;
+  auto future = promise.get_future();
+
+  std::lock_guard lock(mutex_);
+  const BlockKey key{iv.array, b};
+  auto it = blocks_.find(key);
+  BlockPtr block;
+  if (it == blocks_.end()) {
+    block = std::make_shared<Block>();
+    block->key = key;
+    block->bytes = meta.block_bytes(b);
+    block->block_start = b * meta.block_size;
+    block->state = BlockState::Writing;
+    reclaim_locked(block->bytes);
+    block->data = DataBuffer(block->bytes);
+    std::fill(block->data.span().begin(), block->data.span().end(), std::byte{0});
+    resident_bytes_ += block->bytes;
+    blocks_.emplace(key, block);
+  } else {
+    block = it->second;
+    if (block->state != BlockState::Writing || block->sealed) {
+      throw ImmutabilityViolation("array '" + iv.array + "' block " + std::to_string(b) +
+                                  " was already written (write-once violation)");
+    }
+  }
+  // Reject overlapping writes: each memory location is written only once.
+  const std::uint64_t in_block_off = iv.offset - block->block_start;
+  for (const auto& [off, len] : block->written) {
+    const bool disjoint = in_block_off + iv.length <= off || off + len <= in_block_off;
+    if (!disjoint) {
+      throw ImmutabilityViolation("overlapping write to array '" + iv.array + "' block " +
+                                  std::to_string(b) + " (write-once violation)");
+    }
+  }
+  block->written.emplace_back(in_block_off, iv.length);
+  ++block->write_pins;
+  promise.set_value(WriteHandle(this, block, iv));
+  return future;
+}
+
+void StorageNode::release_write(const ArrayName& array, const BlockPtr& block) {
+  bool sealed_now = false;
+  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  {
+    std::lock_guard lock(mutex_);
+    DOOC_CHECK(block->write_pins > 0, "write handle released twice");
+    if (--block->write_pins == 0) {
+      block->sealed = true;
+      block->state = BlockState::Resident;
+      block->lru_tick = ++tick_;
+      block->load_seq = ++load_seq_;
+      sealed_now = true;
+      waiters = std::move(block->read_waiters);
+      block->read_waiters.clear();
+      for (std::size_t i = 0; i < waiters.size(); ++i) ++block->read_pins;
+    }
+  }
+  for (auto& [iv, promise] : waiters) {
+    promise.set_value(ReadHandle(this, block, iv));
+  }
+  if (sealed_now) {
+    // Outside mutex_: may fire awaiter callbacks synchronously.
+    catalog_->shard_for(array).note_holder(block->key, id_);
+  }
+}
+
+void StorageNode::unpin_read(const BlockPtr& block) {
+  std::lock_guard lock(mutex_);
+  DOOC_CHECK(block->read_pins > 0, "read handle released twice");
+  --block->read_pins;
+  block->lru_tick = ++tick_;
+}
+
+// ---- residency & flush --------------------------------------------------------
+
+bool StorageNode::is_resident(const Interval& iv) {
+  const ArrayMeta meta = resolve_meta(iv.array);
+  const std::uint64_t b = check_interval(meta, iv);
+  std::lock_guard lock(mutex_);
+  auto it = blocks_.find(BlockKey{iv.array, b});
+  return it != blocks_.end() && it->second->state == BlockState::Resident && it->second->sealed;
+}
+
+std::vector<bool> StorageNode::residency(const ArrayName& name) {
+  const ArrayMeta meta = resolve_meta(name);
+  std::vector<bool> out(meta.num_blocks(), false);
+  std::lock_guard lock(mutex_);
+  for (std::uint64_t b = 0; b < out.size(); ++b) {
+    auto it = blocks_.find(BlockKey{name, b});
+    out[b] = it != blocks_.end() && it->second->state == BlockState::Resident &&
+             it->second->sealed;
+  }
+  return out;
+}
+
+void StorageNode::flush_array(const ArrayName& name) {
+  const ArrayMeta meta = resolve_meta(name);
+  // Snapshot the sealed, non-durable blocks we hold.
+  std::vector<BlockPtr> dirty;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [key, block] : blocks_) {
+      if (key.array == name && block->sealed && !block->durable) dirty.push_back(block);
+    }
+  }
+  std::vector<std::future<void>> writes;
+  for (const auto& block : dirty) {
+    if (meta.home_node == id_) {
+      writes.push_back(io_.write(meta.path, block->key.block * meta.block_size, block->data));
+    } else {
+      StorageNode* home = peers_[static_cast<std::size_t>(meta.home_node)];
+      DataBuffer wire = block->data.clone();
+      if (transport_ != nullptr) transport_->record(id_, meta.home_node, wire.size());
+      home->store_block_at_home(meta, block->key.block, std::move(wire));
+    }
+  }
+  for (auto& w : writes) w.get();
+  for (const auto& block : dirty) {
+    {
+      std::lock_guard lock(mutex_);
+      block->durable = true;
+    }
+    catalog_->shard_for(name).note_durable(block->key);
+  }
+}
+
+void StorageNode::store_block_at_home(const ArrayMeta& meta, std::uint64_t block,
+                                      DataBuffer data) {
+  DOOC_REQUIRE(meta.home_node == id_, "store_block_at_home on a non-home node");
+  io_.write(meta.path, block * meta.block_size, std::move(data)).get();
+}
+
+// ---- reclamation ---------------------------------------------------------------
+
+void StorageNode::reclaim_locked(std::uint64_t incoming) {
+  if (resident_bytes_ + incoming <= config_.memory_budget) return;
+  // Gather reclaimable blocks: sealed, unpinned, re-obtainable from disk.
+  // (The paper: "the storage reclaims blocks that are stored on the disk of
+  // any node and which are not currently used, according to LRU".)
+  while (resident_bytes_ + incoming > config_.memory_budget) {
+    BlockPtr victim;
+    for (auto& [key, block] : blocks_) {
+      if (block->state != BlockState::Resident || !block->sealed || !block->durable) continue;
+      if (block->read_pins != 0 || block->write_pins != 0) continue;
+      if (!block->read_waiters.empty() || block->fetch_inflight) continue;
+      if (block->data.size() == 0) continue;
+      if (!victim) {
+        victim = block;
+        continue;
+      }
+      switch (config_.eviction) {
+        case EvictionPolicy::Lru:
+          if (block->lru_tick < victim->lru_tick) victim = block;
+          break;
+        case EvictionPolicy::Fifo:
+          if (block->load_seq < victim->load_seq) victim = block;
+          break;
+        case EvictionPolicy::Random:
+          if (rng_.next_below(2) == 0) victim = block;
+          break;
+      }
+    }
+    if (!victim) {
+      DOOC_LOG(Debug, "storage[" + std::to_string(id_) + "]")
+          << "memory budget exceeded but nothing is reclaimable ("
+          << resident_bytes_ + incoming << " > " << config_.memory_budget << ")";
+      return;  // allow overshoot rather than deadlocking
+    }
+    resident_bytes_ -= victim->bytes;
+    {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.evictions;
+      stats_.evicted_bytes += victim->bytes;
+    }
+    pending_drops_.push_back(victim->key);
+    blocks_.erase(victim->key);
+  }
+}
+
+void StorageNode::publish_pending_drops() {
+  std::vector<BlockKey> drops;
+  {
+    std::lock_guard lock(mutex_);
+    drops.swap(pending_drops_);
+  }
+  for (const auto& key : drops) catalog_->shard_for(key.array).drop_holder(key, id_);
+}
+
+// ---- introspection --------------------------------------------------------------
+
+StorageStats StorageNode::stats() {
+  publish_pending_drops();
+  StorageStats out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out = stats_;
+  }
+  // The I/O filter pool is the single source of truth for disk traffic.
+  out.disk_reads = io_.reads();
+  out.disk_read_bytes = io_.read_bytes();
+  out.disk_writes = io_.writes();
+  out.disk_write_bytes = io_.write_bytes();
+  out.disk_read_seconds = io_.read_seconds();
+  out.disk_write_seconds = io_.write_seconds();
+  return out;
+}
+
+std::uint64_t StorageNode::resident_bytes() {
+  std::lock_guard lock(mutex_);
+  return resident_bytes_;
+}
+
+}  // namespace dooc::storage

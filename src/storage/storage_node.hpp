@@ -1,0 +1,264 @@
+// One node's storage filter (paper §III-B).
+//
+// Responsibilities:
+//  * serve read/write interval requests on immutable block-structured arrays
+//    asynchronously (futures resolve when data is resident and sealed);
+//  * keep a scratch directory as the node's out-of-core backing store,
+//    loading blocks implicitly on miss and writing them only on explicit
+//    flush requests, through asynchronous I/O filters (IoWorkerPool);
+//  * account resident bytes against a memory budget and reclaim unused,
+//    re-obtainable blocks (LRU by default);
+//  * locate data it does not hold via the partitioned catalog (hash-owner
+//    or random-walk protocol) and fetch sealed blocks from peer nodes,
+//    counting the transfer as network traffic.
+//
+// Immutability contract: a block is written at most once (overlapping write
+// intervals throw ImmutabilityViolation), becomes *sealed* when its last
+// write handle is released, and is only readable once sealed. This is what
+// lets DOoC skip coherency protocols entirely.
+//
+// Locking discipline: mutex_ orders before catalog-shard locks and before
+// peer mutexes. Peer RPCs and shard methods that fire callbacks
+// (note_holder / note_durable / await_block) are never called while holding
+// mutex_; fetch work runs on dedicated fetcher threads that hold no locks
+// while touching peers or disk.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dataflow/transport.hpp"
+#include "storage/catalog.hpp"
+#include "storage/io_worker.hpp"
+#include "storage/types.hpp"
+
+namespace dooc::storage {
+
+class StorageNode;
+class ReadHandle;
+
+namespace detail {
+
+enum class BlockState { Loading, Writing, Resident };
+
+/// In-memory control block for one array block held by this node.
+struct Block {
+  BlockKey key;
+  std::uint64_t bytes = 0;        ///< payload size (last block may be short)
+  std::uint64_t block_start = 0;  ///< absolute array offset of this block
+  DataBuffer data;                ///< allocated while Writing/Resident
+  BlockState state = BlockState::Loading;
+  bool sealed = false;
+  bool durable = false;  ///< on disk at the array's home node
+  int read_pins = 0;
+  int write_pins = 0;
+  std::uint64_t lru_tick = 0;  ///< last-use stamp for LRU
+  std::uint64_t load_seq = 0;  ///< arrival stamp for FIFO
+  /// Write intervals recorded for overlap (double-write) detection,
+  /// as (offset-within-block, length) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> written;
+  /// Readers waiting for the block to become resident and sealed.
+  std::vector<std::pair<Interval, std::promise<ReadHandle>>> read_waiters;
+  /// A fetch/load is already in flight (request de-duplication).
+  bool fetch_inflight = false;
+  int fetch_attempts = 0;
+};
+
+}  // namespace detail
+
+/// RAII read pin on an interval. The storage guarantees the bytes stay
+/// resident until release() (paper: "for read operations, the storage
+/// subsystem guarantees that the data are available until the interval is
+/// released").
+class ReadHandle {
+ public:
+  ReadHandle() = default;
+  ReadHandle(ReadHandle&&) noexcept;
+  ReadHandle& operator=(ReadHandle&&) noexcept;
+  ReadHandle(const ReadHandle&) = delete;
+  ReadHandle& operator=(const ReadHandle&) = delete;
+  ~ReadHandle();
+
+  [[nodiscard]] std::span<const std::byte> bytes() const;
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const {
+    auto b = bytes();
+    return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
+  }
+  [[nodiscard]] const Interval& interval() const noexcept { return interval_; }
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  void release();
+
+ private:
+  friend class StorageNode;
+  ReadHandle(StorageNode* node, std::shared_ptr<detail::Block> block, Interval iv)
+      : node_(node), block_(std::move(block)), interval_(std::move(iv)) {}
+
+  StorageNode* node_ = nullptr;
+  std::shared_ptr<detail::Block> block_;
+  Interval interval_;
+};
+
+/// RAII write pin on an interval of an unwritten block. Releasing the last
+/// write handle of a block seals it, making it visible to readers.
+class WriteHandle {
+ public:
+  WriteHandle() = default;
+  WriteHandle(WriteHandle&&) noexcept;
+  WriteHandle& operator=(WriteHandle&&) noexcept;
+  WriteHandle(const WriteHandle&) = delete;
+  WriteHandle& operator=(const WriteHandle&) = delete;
+  ~WriteHandle();
+
+  [[nodiscard]] std::span<std::byte> bytes();
+  template <typename T>
+  [[nodiscard]] std::span<T> as() {
+    auto b = bytes();
+    return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
+  }
+  [[nodiscard]] const Interval& interval() const noexcept { return interval_; }
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  void release();
+
+ private:
+  friend class StorageNode;
+  WriteHandle(StorageNode* node, std::shared_ptr<detail::Block> block, Interval iv)
+      : node_(node), block_(std::move(block)), interval_(std::move(iv)) {}
+
+  StorageNode* node_ = nullptr;
+  std::shared_ptr<detail::Block> block_;
+  Interval interval_;
+};
+
+class StorageNode {
+ public:
+  StorageNode(int node_id, StorageConfig config, DistributedCatalog* catalog,
+              df::TransportStats* transport);
+  ~StorageNode();
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Wire peers (done once by StorageCluster before use). peers[i] is the
+  /// storage node of virtual node i; peers[id()] == this.
+  void set_peers(std::vector<StorageNode*> peers) { peers_ = std::move(peers); }
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const StorageConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::string& scratch_dir() const noexcept { return scratch_dir_; }
+
+  // ---- Array management -------------------------------------------------
+  /// Create a fresh (unwritten) array homed on this node.
+  void create_array(const ArrayName& name, std::uint64_t size, std::uint64_t block_size = 0);
+  /// Register an existing raw file as an array homed on this node whose
+  /// blocks are all durable (the file is read in place; it need not live in
+  /// the scratch directory).
+  void import_file(const ArrayName& name, const std::string& path, std::uint64_t block_size = 0);
+  /// Scan the scratch directory and register every regular file found, as
+  /// the paper's storage does on startup. Returns how many were registered.
+  std::size_t scan_scratch();
+  /// Remove an array everywhere: catalog entries, resident blocks on all
+  /// nodes, and the backing file. Requires no outstanding pins.
+  void delete_array(const ArrayName& name);
+
+  [[nodiscard]] std::optional<ArrayMeta> array_meta(const ArrayName& name);
+
+  // ---- Data access ------------------------------------------------------
+  /// Request read access to an interval (within one block). The future
+  /// resolves once the data is resident on this node and sealed.
+  std::future<ReadHandle> request_read(const Interval& iv);
+  /// Request write access to an interval of a block never written before.
+  std::future<WriteHandle> request_write(const Interval& iv);
+  /// Hint that the interval will be read soon; starts the load/fetch
+  /// without pinning.
+  void prefetch(const Interval& iv);
+  /// True when the interval's block is resident and sealed on this node.
+  [[nodiscard]] bool is_resident(const Interval& iv);
+  /// Residency bitmap of an array on this node (one bool per block).
+  [[nodiscard]] std::vector<bool> residency(const ArrayName& name);
+  /// Write all sealed, non-durable blocks of `name` held on this node to
+  /// the array's home file (blocking). This is the paper's explicit write.
+  void flush_array(const ArrayName& name);
+
+  // ---- Introspection ----------------------------------------------------
+  [[nodiscard]] StorageStats stats();
+  [[nodiscard]] std::uint64_t resident_bytes();
+
+  // ---- Peer RPCs (public so peer nodes can call them) --------------------
+  /// Return a copy of a sealed block: from memory if resident, streamed
+  /// straight from disk (without caching) if this is the home node and the
+  /// block is durable. *bytes_out = 0 signals "don't have it".
+  DataBuffer fetch_block(const BlockKey& key, int requester, std::uint64_t* bytes_out);
+  /// Drop any local state for the array (used by delete_array).
+  void drop_array_local(const ArrayName& name);
+  /// Write a block's payload into the home file (this node must be home).
+  void store_block_at_home(const ArrayMeta& meta, std::uint64_t block, DataBuffer data);
+
+ private:
+  using BlockPtr = std::shared_ptr<detail::Block>;
+  static constexpr int kMaxFetchAttempts = 64;
+
+  [[nodiscard]] std::string file_path_for(const ArrayName& name) const;
+  void register_meta(const ArrayMeta& meta, bool all_durable);
+  /// Resolve array metadata, consulting the catalog (and caching).
+  ArrayMeta resolve_meta(const ArrayName& name);
+  /// Validate the interval against the metadata; returns the block index.
+  static std::uint64_t check_interval(const ArrayMeta& meta, const Interval& iv);
+
+  /// Hand the block to a fetcher thread (mutex_ may be held; the job runs
+  /// later without it).
+  void schedule_fetch(const ArrayMeta& meta, const BlockPtr& block);
+  /// Decide where to obtain the block from and do it. Fetcher thread only.
+  void fetch_job(const ArrayMeta& meta, const BlockPtr& block);
+  /// Install freshly obtained payload, seal, wake waiters, register holder.
+  void install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
+                       bool durable);
+  /// Fail every waiter on the block and forget it.
+  void fail_block(const BlockPtr& block, std::exception_ptr error);
+
+  /// Evict reclaimable blocks until `incoming` more bytes fit the budget.
+  /// Must be called with mutex_ held; holder-drop notifications are queued
+  /// and published later outside the lock.
+  void reclaim_locked(std::uint64_t incoming);
+  void publish_pending_drops();
+
+  void unpin_read(const BlockPtr& block);
+  void release_write(const ArrayName& array, const BlockPtr& block);
+
+  friend class ReadHandle;
+  friend class WriteHandle;
+
+  int id_;
+  StorageConfig config_;
+  std::string scratch_dir_;
+  DistributedCatalog* catalog_;
+  df::TransportStats* transport_;
+  std::vector<StorageNode*> peers_;
+  IoWorkerPool io_;
+  ThreadPool fetchers_;
+
+  std::mutex mutex_;
+  std::unordered_map<BlockKey, BlockPtr> blocks_;
+  std::unordered_map<ArrayName, ArrayMeta> meta_cache_;
+  std::vector<BlockKey> pending_drops_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t load_seq_ = 0;
+  SplitMix64 rng_;
+  std::uint64_t lookup_rng_state_;
+
+  std::mutex stats_mutex_;
+  StorageStats stats_;
+};
+
+}  // namespace dooc::storage

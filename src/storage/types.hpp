@@ -1,0 +1,98 @@
+// Common vocabulary of the DOoC distributed storage layer.
+//
+// The storage subsystem (paper §III-B) exposes data as named, immutable,
+// one-dimensional byte arrays structured in blocks. Filters request *read*
+// or *write* access to an *interval* of an array; an interval must lie
+// within a single block ("if one needs to access data that span across
+// multiple blocks, it is required to use one interval per block").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dooc::storage {
+
+using ArrayName = std::string;
+
+/// Identifies one block of one array.
+struct BlockKey {
+  ArrayName array;
+  std::uint64_t block = 0;
+
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+  friend auto operator<=>(const BlockKey&, const BlockKey&) = default;
+};
+
+/// A byte range of an array. Must not straddle a block boundary.
+struct Interval {
+  ArrayName array;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  [[nodiscard]] std::uint64_t end() const noexcept { return offset + length; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// How a node finds data it does not hold (paper: the global mapping is
+/// partitioned, not replicated; a missing interval is asked from another
+/// node).
+enum class LookupProtocol {
+  /// Ask the deterministic authority node, hash(array) mod N.
+  HashOwner,
+  /// Ask randomly selected peers until one knows, tracking visited nodes —
+  /// the protocol described in the paper.
+  RandomWalk,
+};
+
+/// Which reclaimable resident block to evict first when the memory budget
+/// is exceeded. The paper uses LRU; the alternatives exist for the
+/// eviction-policy ablation bench.
+enum class EvictionPolicy { Lru, Fifo, Random };
+
+struct StorageConfig {
+  /// Root scratch directory; each node uses `<scratch_root>/node<i>/`.
+  std::string scratch_root;
+  /// Per-node DRAM budget for resident blocks, in bytes.
+  std::uint64_t memory_budget = 256ull << 20;
+  /// Default block size for arrays created without an explicit one and for
+  /// files discovered by the startup scan.
+  std::uint64_t default_block_size = 1ull << 20;
+  /// Number of asynchronous I/O filters per node ("as many I/O filters as
+  /// is necessary to efficiently use the parallelism of the I/O subsystem").
+  int io_workers = 1;
+  EvictionPolicy eviction = EvictionPolicy::Lru;
+  LookupProtocol lookup = LookupProtocol::HashOwner;
+  /// Optional read-bandwidth throttle (bytes/s, 0 = off). Lets local
+  /// experiments emulate a slow device so I/O/compute overlap is visible.
+  double throttle_read_bw = 0.0;
+  /// Seed for the random-walk lookup and the Random eviction policy.
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Monotonic counters kept by each storage node. All cheap relaxed atomics.
+struct StorageStats {
+  std::uint64_t disk_reads = 0;        ///< block loads from the scratch file
+  std::uint64_t disk_read_bytes = 0;
+  std::uint64_t disk_writes = 0;       ///< block stores to the scratch file
+  std::uint64_t disk_write_bytes = 0;
+  std::uint64_t remote_fetches = 0;    ///< blocks fetched from a peer node
+  std::uint64_t remote_fetch_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t lookup_hops = 0;       ///< peer queries issued to locate data
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t prefetch_requests = 0;
+  double disk_read_seconds = 0.0;      ///< time the I/O filters spent reading
+  double disk_write_seconds = 0.0;
+};
+
+}  // namespace dooc::storage
+
+template <>
+struct std::hash<dooc::storage::BlockKey> {
+  std::size_t operator()(const dooc::storage::BlockKey& k) const noexcept {
+    return std::hash<std::string>()(k.array) * 1315423911u ^ std::hash<std::uint64_t>()(k.block);
+  }
+};

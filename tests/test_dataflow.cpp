@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dataflow/layout.hpp"
+#include "dataflow/runtime.hpp"
+
+namespace dooc::df {
+namespace {
+
+/// source -> doubler -> sink pipeline; checks payload integrity and EOS.
+TEST(Dataflow, LinearPipeline) {
+  Layout layout;
+  layout.add_filter("source", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        DataBuffer b(8);
+        b.as<std::uint64_t>()[0] = i;
+        ctx.output("out").send(std::move(b), i);
+      }
+    });
+  });
+  layout.add_filter("doubler", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      while (auto m = ctx.input("in").receive()) {
+        m->payload.as<std::uint64_t>()[0] *= 2;
+        ctx.output("out").send(std::move(*m));
+      }
+    });
+  });
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> count{0};
+  layout.add_filter("sink", [&] {
+    return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+      while (auto m = ctx.input("in").receive()) {
+        sum += m->payload.as<std::uint64_t>()[0];
+        ++count;
+      }
+    });
+  });
+  layout.connect("source", "out", "doubler", "in");
+  layout.connect("doubler", "out", "sink", "in");
+
+  Runtime rt(1);
+  rt.run(layout);
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(sum.load(), 2u * (99u * 100u / 2u));
+}
+
+/// Replicated (stateless) middle filter: every message processed exactly once.
+TEST(Dataflow, TransparentCopiesShareTheStream) {
+  constexpr int kMessages = 200;
+  std::atomic<int> processed{0};
+  std::atomic<int> received{0};
+
+  Layout layout;
+  layout.add_filter("source", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      for (int i = 0; i < kMessages; ++i) ctx.output("out").send(DataBuffer(16), i);
+    });
+  });
+  layout.add_filter(
+      "worker",
+      [&] {
+        return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+          EXPECT_EQ(ctx.num_replicas(), 3);
+          while (auto m = ctx.input("in").receive()) {
+            ++processed;
+            ctx.output("out").send(std::move(*m));
+          }
+        });
+      },
+      {0, 0, 0});  // three transparent copies
+  layout.add_filter("sink", [&] {
+    return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+      while (ctx.input("in").receive()) ++received;
+    });
+  });
+  layout.connect("source", "out", "worker", "in");
+  layout.connect("worker", "out", "sink", "in");
+
+  Runtime rt(1);
+  rt.run(layout);
+  EXPECT_EQ(processed.load(), kMessages);
+  EXPECT_EQ(received.load(), kMessages);
+}
+
+/// Cross-node delivery deep-copies payloads; same-node delivery aliases.
+TEST(Dataflow, NodeBoundaryCopySemantics) {
+  DataBuffer shared(8);
+  shared.as<std::uint64_t>()[0] = 5;
+
+  std::atomic<bool> remote_saw_original{false};
+  Layout layout;
+  layout.add_filter("producer", [&] {
+    return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+      ctx.output("remote").send(shared, 0);
+      ctx.output("local").send(shared, 0);
+    });
+  });
+  layout.add_filter(
+      "remote_consumer",
+      [&] {
+        return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+          auto m = ctx.input("in").receive();
+          ASSERT_TRUE(m.has_value());
+          // Mutating the copy must not affect the producer's buffer.
+          m->payload.as<std::uint64_t>()[0] = 99;
+          remote_saw_original = true;
+        });
+      },
+      {1});
+  DataBuffer local_alias;
+  layout.add_filter("local_consumer", [&] {
+    return std::make_unique<LambdaFilter>([&](FilterContext& ctx) {
+      auto m = ctx.input("in").receive();
+      ASSERT_TRUE(m.has_value());
+      local_alias = m->payload;
+    });
+  });
+  layout.connect("producer", "remote", "remote_consumer", "in");
+  layout.connect("producer", "local", "local_consumer", "in");
+
+  Runtime rt(2);
+  rt.run(layout);
+  EXPECT_TRUE(remote_saw_original.load());
+  EXPECT_EQ(shared.as<std::uint64_t>()[0], 5u) << "remote mutation leaked across nodes";
+  EXPECT_EQ(local_alias, shared) << "same-node delivery should alias, not copy";
+  EXPECT_EQ(rt.transport().bytes(0, 1), 8u);
+  EXPECT_EQ(rt.transport().messages(0, 1), 1u);
+  EXPECT_EQ(rt.transport().cross_node_bytes(), 8u);
+}
+
+TEST(Dataflow, StreamStatsCountMessagesAndBytes) {
+  Layout layout;
+  layout.add_filter("src", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      for (int i = 0; i < 10; ++i) ctx.output("out").send(DataBuffer(32), 0);
+    });
+  });
+  layout.add_filter("dst", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      while (ctx.input("in").receive()) {
+      }
+    });
+  });
+  layout.connect("src", "out", "dst", "in");
+  Runtime rt(1);
+  rt.run(layout);
+  const auto& stats = rt.stream_stats().at("src.out->dst.in");
+  EXPECT_EQ(stats.messages, 10u);
+  EXPECT_EQ(stats.bytes, 320u);
+}
+
+TEST(Dataflow, FilterExceptionPropagatesAndUnblocksPeers) {
+  Layout layout;
+  layout.add_filter("bad", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext&) {
+      throw std::runtime_error("filter exploded");
+    });
+  });
+  layout.add_filter("patient", [] {
+    return std::make_unique<LambdaFilter>([](FilterContext& ctx) {
+      while (ctx.input("in").receive()) {
+      }
+    });
+  });
+  layout.connect("bad", "out", "patient", "in");
+  Runtime rt(1);
+  EXPECT_THROW(rt.run(layout), std::runtime_error);
+}
+
+TEST(Dataflow, LayoutValidation) {
+  Layout layout;
+  layout.add_filter("a", [] { return std::make_unique<LambdaFilter>([](FilterContext&) {}); });
+  EXPECT_THROW(layout.add_filter(
+                   "a", [] { return std::make_unique<LambdaFilter>([](FilterContext&) {}); }),
+               InvalidArgument);
+  EXPECT_THROW(layout.connect("a", "out", "ghost", "in"), InvalidArgument);
+  EXPECT_THROW(layout.add_filter(
+                   "empty", [] { return std::make_unique<LambdaFilter>([](FilterContext&) {}); },
+                   {}),
+               InvalidArgument);
+}
+
+TEST(Dataflow, PlacementBeyondRuntimeNodesIsRejected) {
+  Layout layout;
+  layout.add_filter(
+      "f", [] { return std::make_unique<LambdaFilter>([](FilterContext&) {}); }, {5});
+  Runtime rt(2);
+  EXPECT_THROW(rt.run(layout), InvalidArgument);
+}
+
+TEST(Dataflow, UnknownPortThrows) {
+  Layout layout;
+  layout.add_filter("f", [] {
+    return std::make_unique<LambdaFilter>(
+        [](FilterContext& ctx) { ctx.output("no_such_port").send(DataBuffer(1), 0); });
+  });
+  Runtime rt(1);
+  EXPECT_THROW(rt.run(layout), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dooc::df

@@ -1,0 +1,271 @@
+// Solver tests: tridiagonal eigensolver against closed forms, then the full
+// out-of-core Lanczos / CG / power-iteration drivers against dense
+// references on the real backend.
+#include <gtest/gtest.h>
+
+#include "solver/krylov.hpp"
+#include "spmv/generator.hpp"
+#include "test_util.hpp"
+
+namespace dooc::solver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tridiagonal eigensolver
+// ---------------------------------------------------------------------------
+
+TEST(Tridiag, LaplacianEigenvaluesMatchClosedForm) {
+  // T = tridiag(-1, 2, -1) of size n: lambda_k = 2 - 2 cos(k pi / (n+1)).
+  const int n = 25;
+  std::vector<double> alpha(n, 2.0), beta(n - 1, -1.0);
+  const auto values = tridiag_eigenvalues(alpha, beta);
+  for (int k = 1; k <= n; ++k) {
+    const double expect = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+    EXPECT_NEAR(values[static_cast<std::size_t>(k - 1)], expect, 1e-10);
+  }
+}
+
+TEST(Tridiag, DiagonalMatrixIsItsOwnSpectrum) {
+  std::vector<double> alpha{3.0, -1.0, 7.0, 2.0};
+  std::vector<double> beta{0.0, 0.0, 0.0};
+  const auto values = tridiag_eigenvalues(alpha, beta);
+  EXPECT_EQ(values, (std::vector<double>{-1.0, 2.0, 3.0, 7.0}));
+}
+
+TEST(Tridiag, EigenvectorsSatisfyDefinition) {
+  std::vector<double> alpha{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> beta{0.5, 0.6, 0.7, 0.8};
+  const auto eig = tridiag_eigen(alpha, beta);
+  const int n = eig.k;
+  for (int j = 0; j < n; ++j) {
+    // Check T z = lambda z component-wise.
+    for (int i = 0; i < n; ++i) {
+      double tz = alpha[static_cast<std::size_t>(i)] * eig.vectors[static_cast<std::size_t>(i) * n + j];
+      if (i > 0) tz += beta[static_cast<std::size_t>(i) - 1] * eig.vectors[static_cast<std::size_t>(i - 1) * n + j];
+      if (i + 1 < n) tz += beta[static_cast<std::size_t>(i)] * eig.vectors[static_cast<std::size_t>(i + 1) * n + j];
+      EXPECT_NEAR(tz, eig.values[static_cast<std::size_t>(j)] * eig.vectors[static_cast<std::size_t>(i) * n + j], 1e-10);
+    }
+  }
+}
+
+TEST(Tridiag, EigenvectorsAreOrthonormal) {
+  std::vector<double> alpha{2.0, 2.0, 2.0, 2.0};
+  std::vector<double> beta{-1.0, -1.0, -1.0};
+  const auto eig = tridiag_eigen(alpha, beta);
+  const int n = eig.k;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      double d = 0.0;
+      for (int i = 0; i < n; ++i) {
+        d += eig.vectors[static_cast<std::size_t>(i) * n + a] *
+             eig.vectors[static_cast<std::size_t>(i) * n + b];
+      }
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Tridiag, SizeMismatchThrows) {
+  EXPECT_THROW(tridiag_eigenvalues({1.0, 2.0}, {}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core solvers (full stack)
+// ---------------------------------------------------------------------------
+
+struct Stack {
+  testutil::TempDir dir{"krylov"};
+  storage::StorageCluster cluster;
+  sched::Engine engine;
+
+  explicit Stack(int nodes, std::uint64_t memory_budget = 64ull << 20)
+      : cluster(nodes,
+                [&] {
+                  storage::StorageConfig cfg;
+                  cfg.scratch_root = dir.str();
+                  cfg.memory_budget = memory_budget;
+                  return cfg;
+                }()),
+        engine(cluster, {}) {}
+};
+
+std::vector<double> dense_eigenvalues(const spmv::CsrMatrix& m) {
+  // Jacobi eigenvalue iteration for small symmetric matrices.
+  const int n = static_cast<int>(m.rows);
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (std::uint64_t k = m.row_ptr[static_cast<std::size_t>(i)];
+         k < m.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      a[static_cast<std::size_t>(i) * n + m.col_idx[k]] = m.values[k];
+    }
+  }
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += std::abs(a[static_cast<std::size_t>(p) * n + q]);
+    }
+    if (off < 1e-12) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[static_cast<std::size_t>(p) * n + q];
+        if (std::abs(apq) < 1e-14) continue;
+        const double theta =
+            0.5 * std::atan2(2.0 * apq, a[static_cast<std::size_t>(q) * n + q] -
+                                            a[static_cast<std::size_t>(p) * n + p]);
+        const double c = std::cos(theta), s = std::sin(theta);
+        for (int i = 0; i < n; ++i) {
+          const double aip = a[static_cast<std::size_t>(i) * n + p];
+          const double aiq = a[static_cast<std::size_t>(i) * n + q];
+          a[static_cast<std::size_t>(i) * n + p] = c * aip - s * aiq;
+          a[static_cast<std::size_t>(i) * n + q] = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = a[static_cast<std::size_t>(p) * n + i];
+          const double aqi = a[static_cast<std::size_t>(q) * n + i];
+          a[static_cast<std::size_t>(p) * n + i] = c * api - s * aqi;
+          a[static_cast<std::size_t>(q) * n + i] = s * api + c * aqi;
+        }
+      }
+    }
+  }
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) values[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i) * n + i];
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST(Lanczos, LaplacianLowestEigenvaluesMatchClosedForm) {
+  Stack stack(1);
+  const std::uint64_t n = 60;
+  const auto m = spmv::generate_laplacian_1d(n);
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 3, spmv::column_strip_owner(1));
+
+  LanczosOptions opts;
+  opts.max_iterations = 60;
+  opts.num_eigenvalues = 3;
+  opts.tolerance = 1e-9;
+  Lanczos lanczos(stack.cluster, deployed, stack.engine, opts);
+  const auto result = lanczos.run();
+
+  ASSERT_GE(result.eigenvalues.size(), 3u);
+  for (int k = 1; k <= 3; ++k) {
+    const double expect = 4.0 * std::pow(std::sin(k * M_PI / (2.0 * (n + 1))), 2);
+    EXPECT_NEAR(result.eigenvalues[static_cast<std::size_t>(k - 1)], expect, 1e-7) << "k=" << k;
+  }
+}
+
+TEST(Lanczos, MultiNodeMatchesDenseJacobi) {
+  Stack stack(2);
+  auto m = spmv::generate_banded(48, 4, 6.0);
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 4, spmv::column_strip_owner(2));
+
+  LanczosOptions opts;
+  opts.max_iterations = 48;
+  opts.num_eigenvalues = 4;
+  opts.tolerance = 1e-9;
+  Lanczos lanczos(stack.cluster, deployed, stack.engine, opts);
+  const auto result = lanczos.run();
+
+  const auto dense = dense_eigenvalues(m);
+  ASSERT_GE(result.eigenvalues.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.eigenvalues[static_cast<std::size_t>(i)], dense[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST(Lanczos, TinyMemoryBudgetStillConverges) {
+  // Force the basis and matrix blocks out of core: budget of 4 KiB per
+  // node, everything streams through scratch files.
+  Stack stack(1, /*memory_budget=*/4 << 10);
+  const auto m = spmv::generate_laplacian_1d(40);
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 2, spmv::column_strip_owner(1));
+
+  LanczosOptions opts;
+  opts.max_iterations = 40;
+  opts.num_eigenvalues = 2;
+  opts.tolerance = 1e-8;
+  Lanczos lanczos(stack.cluster, deployed, stack.engine, opts);
+  const auto result = lanczos.run();
+  const double e1 = 4.0 * std::pow(std::sin(M_PI / 82.0), 2);
+  EXPECT_NEAR(result.eigenvalues[0], e1, 1e-6);
+  // Out-of-core actually happened: blocks were evicted under the budget.
+  EXPECT_GT(stack.cluster.node(0).stats().evictions, 0u);
+}
+
+TEST(Lanczos, ResidualsShrinkWithIterations) {
+  Stack stack(1);
+  const auto m = spmv::generate_laplacian_1d(50);
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 2, spmv::column_strip_owner(1));
+
+  LanczosOptions few;
+  few.max_iterations = 8;
+  few.num_eigenvalues = 1;
+  few.tolerance = 1e-14;  // force max iterations
+  few.base = "lza";
+  const auto r_few = Lanczos(stack.cluster, deployed, stack.engine, few).run();
+
+  LanczosOptions many = few;
+  many.max_iterations = 30;
+  many.base = "lzb";
+  const auto r_many = Lanczos(stack.cluster, deployed, stack.engine, many).run();
+  EXPECT_LT(r_many.residuals[0], r_few.residuals[0]);
+}
+
+TEST(Lanczos, EigenvectorsHaveSmallResidual) {
+  Stack stack(1);
+  const auto m = spmv::generate_laplacian_1d(36);
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 2, spmv::column_strip_owner(1));
+  LanczosOptions opts;
+  opts.max_iterations = 36;
+  opts.num_eigenvalues = 2;
+  Lanczos lanczos(stack.cluster, deployed, stack.engine, opts);
+  const auto result = lanczos.run();
+  const auto vectors = lanczos.compute_eigenvectors(result, 2);
+  ASSERT_EQ(vectors.size(), 2u);
+  for (int j = 0; j < 2; ++j) {
+    std::vector<double> av(36);
+    m.multiply(vectors[static_cast<std::size_t>(j)], av);
+    double res = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < 36; ++i) {
+      const double r = av[i] - result.eigenvalues[static_cast<std::size_t>(j)] * vectors[static_cast<std::size_t>(j)][i];
+      res += r * r;
+      norm += vectors[static_cast<std::size_t>(j)][i] * vectors[static_cast<std::size_t>(j)][i];
+    }
+    EXPECT_LT(std::sqrt(res), 1e-5);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-6);
+  }
+}
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  Stack stack(2);
+  const auto m = spmv::generate_banded(40, 3, 8.0);  // strictly dominant -> SPD
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 4, spmv::column_strip_owner(2));
+
+  std::vector<double> x_true(40);
+  for (std::size_t i = 0; i < 40; ++i) x_true[i] = std::sin(0.3 * static_cast<double>(i));
+  std::vector<double> b(40);
+  m.multiply(x_true, b);
+
+  const auto result = conjugate_gradient(stack.cluster, deployed, stack.engine, b);
+  ASSERT_TRUE(result.converged);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_NEAR(result.x[i], x_true[i], 1e-7);
+  // Residual history is monotically informative (last below tolerance).
+  EXPECT_LT(result.residual_history.back(), 1e-10);
+}
+
+TEST(PowerIteration, FindsDominantEigenvalue) {
+  Stack stack(1);
+  // Diagonally dominant with one boosted diagonal entry -> clear dominant.
+  auto m = spmv::generate_banded(30, 2, 5.0);
+  for (std::uint64_t k = m.row_ptr[7]; k < m.row_ptr[8]; ++k) {
+    if (m.col_idx[k] == 7) m.values[k] = 25.0;
+  }
+  const auto deployed = spmv::deploy_matrix(stack.cluster, m, 2, spmv::column_strip_owner(1));
+  const auto result = power_iteration(stack.cluster, deployed, stack.engine, 200, 1e-12);
+  EXPECT_TRUE(result.converged);
+  const auto dense = dense_eigenvalues(m);
+  EXPECT_NEAR(result.eigenvalue, dense.back(), 1e-6);
+}
+
+}  // namespace
+}  // namespace dooc::solver

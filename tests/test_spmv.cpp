@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "spmv/block_grid.hpp"
+#include "spmv/csr.hpp"
+#include "spmv/generator.hpp"
+#include "spmv/kernels.hpp"
+#include "test_util.hpp"
+
+namespace dooc::spmv {
+namespace {
+
+TEST(Csr, ValidateAcceptsWellFormed) {
+  CsrMatrix m = generate_laplacian_1d(10);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.nnz(), 28u);  // 3n - 2
+}
+
+TEST(Csr, ValidateRejectsBadStructure) {
+  CsrMatrix m = generate_laplacian_1d(4);
+  m.col_idx[1] = 9;  // out of range column
+  EXPECT_THROW(m.validate(), InvalidArgument);
+}
+
+TEST(Csr, SerializeRoundTrip) {
+  CsrMatrix m = generate_uniform_gap(50, 70, 3.0, 42);
+  m.validate();
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+  EXPECT_EQ(bytes.size(), m.serialized_bytes());
+
+  CsrView v = CsrView::from_bytes(bytes);
+  EXPECT_EQ(v.rows(), 50u);
+  EXPECT_EQ(v.cols(), 70u);
+  EXPECT_EQ(v.nnz(), m.nnz());
+  CsrMatrix back = materialize(v);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.values, m.values);
+}
+
+TEST(Csr, FromBytesRejectsCorruptHeaders) {
+  CsrMatrix m = generate_laplacian_1d(5);
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+
+  auto corrupt = bytes;
+  corrupt[0] = std::byte{0};
+  EXPECT_THROW(CsrView::from_bytes(corrupt), IoError);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(CsrView::from_bytes(truncated), IoError);
+
+  EXPECT_THROW(CsrView::from_bytes(std::span<const std::byte>{}), IoError);
+}
+
+TEST(Csr, ViewMultiplyMatchesOwningMultiply) {
+  CsrMatrix m = generate_uniform_gap(40, 40, 2.0, 7);
+  std::vector<double> x(40), y1(40), y2(40);
+  SplitMix64 rng(3);
+  for (auto& v : x) v = rng.next_double();
+  m.multiply(x, y1);
+
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+  CsrView view = CsrView::from_bytes(bytes);
+  view.multiply(x, y2);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Csr, MultiplyRowsSplitsCorrectly) {
+  CsrMatrix m = generate_uniform_gap(64, 64, 2.0, 11);
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+  CsrView view = CsrView::from_bytes(bytes);
+  std::vector<double> x(64, 1.0), whole(64), halves(64);
+  view.multiply(x, whole);
+  view.multiply_rows(x, halves, 0, 32);
+  view.multiply_rows(x, halves, 32, 64);
+  EXPECT_EQ(whole, halves);
+}
+
+TEST(Generator, UniformGapRespectsGapBounds) {
+  const double d = 4.0;
+  CsrMatrix m = generate_uniform_gap(100, 1000, d, 99);
+  m.validate();
+  for (std::uint64_t r = 0; r < m.rows; ++r) {
+    for (std::uint64_t k = m.row_ptr[r] + 1; k < m.row_ptr[r + 1]; ++k) {
+      const std::uint64_t gap = m.col_idx[k] - m.col_idx[k - 1];
+      EXPECT_GE(gap, 1u);
+      EXPECT_LE(gap, static_cast<std::uint64_t>(2 * d));
+    }
+  }
+}
+
+TEST(Generator, ChooseGapParameterHitsNnzTarget) {
+  const std::uint64_t rows = 500, cols = 5000, target = 50000;
+  const double d = choose_gap_parameter(rows, cols, target);
+  CsrMatrix m = generate_uniform_gap(rows, cols, d, 1234);
+  // Expect within 10% of the target.
+  EXPECT_NEAR(static_cast<double>(m.nnz()), static_cast<double>(target),
+              0.1 * static_cast<double>(target));
+}
+
+TEST(Generator, DeterministicInSeed) {
+  CsrMatrix a = generate_uniform_gap(20, 20, 2.0, 5);
+  CsrMatrix b = generate_uniform_gap(20, 20, 2.0, 5);
+  CsrMatrix c = generate_uniform_gap(20, 20, 2.0, 6);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_NE(a.col_idx, c.col_idx);
+}
+
+TEST(Generator, BandedIsSymmetricAndDominant) {
+  CsrMatrix m = generate_banded(30, 3, 10.0);
+  m.validate();
+  // Symmetry: entry (i,j) == (j,i).
+  auto at = [&](std::uint64_t i, std::uint64_t j) -> double {
+    for (std::uint64_t k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+      if (m.col_idx[k] == j) return m.values[k];
+    }
+    return 0.0;
+  };
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    double off = 0;
+    for (std::uint64_t j = 0; j < 30; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(at(i, j), at(j, i));
+        off += std::abs(at(i, j));
+      }
+    }
+    EXPECT_GT(at(i, i), off) << "not diagonally dominant at row " << i;
+  }
+}
+
+TEST(Generator, ExtractBlockPreservesEntries) {
+  CsrMatrix m = generate_uniform_gap(60, 60, 2.0, 77);
+  CsrMatrix blk = extract_block(m, 20, 20, 30, 20);
+  blk.validate();
+  // Every block entry matches the global one.
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    for (std::uint64_t k = blk.row_ptr[r]; k < blk.row_ptr[r + 1]; ++k) {
+      const std::uint64_t gc = blk.col_idx[k] + 30;
+      bool found = false;
+      for (std::uint64_t gk = m.row_ptr[20 + r]; gk < m.row_ptr[21 + r]; ++gk) {
+        if (m.col_idx[gk] == gc) {
+          EXPECT_DOUBLE_EQ(m.values[gk], blk.values[k]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Kernels, VectorOps) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3, 4}), 5.0);
+  axpy(2.0, a, b);
+  EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+  scale(b, 0.5);
+  EXPECT_EQ(b, (std::vector<double>{3, 4.5, 6}));
+  std::vector<double> c(3);
+  copy(a, c);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Kernels, SumVectorsReduces) {
+  std::vector<double> p1{1, 2}, p2{10, 20}, p3{100, 200};
+  std::vector<std::span<const double>> parts{p1, p2, p3};
+  std::vector<double> out(2);
+  sum_vectors(parts, out);
+  EXPECT_EQ(out, (std::vector<double>{111, 222}));
+}
+
+TEST(Kernels, ParallelMultiplyMatchesSerial) {
+  CsrMatrix m = generate_uniform_gap(2000, 2000, 3.0, 13);
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+  CsrView view = CsrView::from_bytes(bytes);
+  std::vector<double> x(2000), ys(2000), yp(2000);
+  SplitMix64 rng(17);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  view.multiply(x, ys);
+  ThreadPool pool(4);
+  multiply_parallel(view, x, yp, pool);
+  for (std::size_t i = 0; i < ys.size(); ++i) EXPECT_DOUBLE_EQ(ys[i], yp[i]);
+}
+
+TEST(BlockGrid, PartitionIsEvenAndExhaustive) {
+  BlockGrid grid(103, 4);
+  std::uint64_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    total += grid.part_size(p);
+    EXPECT_GE(grid.part_size(p), 103u / 4);
+    EXPECT_LE(grid.part_size(p), 103u / 4 + 1);
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_EQ(grid.part_begin(0), 0u);
+  EXPECT_EQ(grid.part_begin(4), 103u);
+}
+
+TEST(BlockGrid, OwnersCoverConfigurations) {
+  auto col = column_strip_owner(3);
+  EXPECT_EQ(col(0, 2), 2);
+  EXPECT_EQ(col(5, 2), 2);
+  auto row = row_strip_owner(3);
+  EXPECT_EQ(row(2, 0), 2);
+  auto tile = square_tile_owner(4, 10);  // 2x2 nodes, 5x5 blocks each
+  EXPECT_EQ(tile(0, 0), 0);
+  EXPECT_EQ(tile(0, 5), 1);
+  EXPECT_EQ(tile(5, 0), 2);
+  EXPECT_EQ(tile(9, 9), 3);
+  EXPECT_THROW(square_tile_owner(3, 9), InvalidArgument);
+  EXPECT_THROW(square_tile_owner(4, 9), InvalidArgument);
+}
+
+TEST(BlockGrid, DeployAndGatherRoundTrip) {
+  testutil::TempDir dir("deploy");
+  storage::StorageConfig cfg;
+  cfg.scratch_root = dir.str();
+  cfg.memory_budget = 64ull << 20;
+  storage::StorageCluster cluster(2, cfg);
+
+  CsrMatrix m = generate_uniform_gap(64, 64, 2.0, 21);
+  const auto deployed = deploy_matrix(cluster, m, 4, column_strip_owner(2));
+  EXPECT_EQ(deployed.grid.k(), 4);
+  EXPECT_EQ(deployed.total_nnz(), m.nnz());
+
+  // Every sub-matrix array exists and parses.
+  for (int u = 0; u < 4; ++u) {
+    for (int v = 0; v < 4; ++v) {
+      const auto name = deployed.name_of(u, v);
+      auto meta = cluster.node(0).array_meta(name);
+      ASSERT_TRUE(meta.has_value()) << name;
+      EXPECT_EQ(meta->home_node, v % 2);
+      auto handle = cluster.node(0).request_read({name, 0, meta->size}).get();
+      CsrView view = CsrView::from_bytes(handle.bytes());
+      EXPECT_EQ(view.rows(), deployed.grid.part_size(u));
+      EXPECT_EQ(view.cols(), deployed.grid.part_size(v));
+    }
+  }
+
+  create_distributed_vector(cluster, deployed.grid, column_strip_owner(2), "x", 0,
+                            [](std::uint64_t i) { return static_cast<double>(i); });
+  const auto gathered = gather_vector(cluster, deployed.grid, "x", 0);
+  ASSERT_EQ(gathered.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(gathered[i], static_cast<double>(i));
+}
+
+}  // namespace
+}  // namespace dooc::spmv

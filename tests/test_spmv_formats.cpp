@@ -1,0 +1,169 @@
+// Matrix Market I/O and the MFDn-style symmetric half-storage kernel,
+// with parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "spmv/generator.hpp"
+#include "spmv/kernels.hpp"
+#include "spmv/matrix_market.hpp"
+
+namespace dooc::spmv {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix m = generate_uniform_gap(30, 40, 3.0, 0xA);
+  std::stringstream io;
+  write_matrix_market(io, m);
+  const CsrMatrix back = read_matrix_market(io);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.values[i], m.values[i]);
+  }
+}
+
+TEST(MatrixMarket, SymmetricFilesAreExpanded) {
+  std::stringstream io;
+  io << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "2 2 2.0\n"
+     << "3 3 5.0\n";
+  const CsrMatrix m = read_matrix_market(io);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 5u);  // 4 stored + 1 mirrored off-diagonal
+  std::vector<double> x{1, 1, 1}, y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);  // 2 - 1
+  EXPECT_DOUBLE_EQ(y[1], 1.0);  // -1 + 2
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(MatrixMarket, PatternFilesGetUnitValues) {
+  std::stringstream io;
+  io << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "% a comment line\n"
+     << "2 2 2\n"
+     << "1 2\n"
+     << "2 1\n";
+  const CsrMatrix m = read_matrix_market(io);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.values[0], 1.0);
+}
+
+TEST(MatrixMarket, DuplicateEntriesAreSummed) {
+  std::stringstream io;
+  io << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 3\n"
+     << "1 1 1.5\n"
+     << "1 1 2.5\n"
+     << "2 2 1.0\n";
+  const CsrMatrix m = read_matrix_market(io);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.values[0], 4.0);
+}
+
+TEST(MatrixMarket, MalformedInputsThrow) {
+  auto parse = [](const std::string& text) {
+    std::stringstream io(text);
+    return read_matrix_market(io);
+  };
+  EXPECT_THROW(parse(""), IoError);
+  EXPECT_THROW(parse("not a banner\n1 1 0\n"), IoError);
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n2 2\n"), IoError);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n"), IoError);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n"),
+               IoError);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate complex hermitian\n1 1 1\n1 1 1 0\n"),
+               IoError);
+}
+
+TEST(Symmetrize, ProducesSymmetricMatrix) {
+  const CsrMatrix m = generate_uniform_gap(25, 25, 2.0, 0xB);
+  const CsrMatrix s = symmetrize(m);
+  s.validate();
+  auto at = [&](const CsrMatrix& a, std::uint64_t i, std::uint64_t j) -> double {
+    for (std::uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == j) return a.values[k];
+    }
+    return 0.0;
+  };
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    for (std::uint64_t j = 0; j < 25; ++j) {
+      EXPECT_DOUBLE_EQ(at(s, i, j), at(s, j, i));
+      EXPECT_NEAR(at(s, i, j), 0.5 * (at(m, i, j) + at(m, j, i)), 1e-15);
+    }
+  }
+}
+
+TEST(LowerTriangle, KeepsExactlyTheLowerHalf) {
+  const CsrMatrix s = generate_banded(20, 3, 5.0);
+  const CsrMatrix l = extract_lower_triangle(s);
+  l.validate();
+  for (std::uint64_t r = 0; r < l.rows; ++r) {
+    for (std::uint64_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+      EXPECT_LE(l.col_idx[k], r);
+    }
+  }
+  // nnz(lower) = (nnz(full) + n) / 2 for a symmetric pattern with full diag.
+  EXPECT_EQ(l.nnz(), (s.nnz() + 20) / 2);
+}
+
+// Property sweep: half-storage multiply == full multiply for random
+// symmetric matrices of various shapes.
+struct HalfStorageCase {
+  std::uint64_t n;
+  double gap;
+  std::uint64_t seed;
+};
+
+class SymmetricHalfStorage : public ::testing::TestWithParam<HalfStorageCase> {};
+
+TEST_P(SymmetricHalfStorage, MatchesFullMultiply) {
+  const auto param = GetParam();
+  const CsrMatrix full = symmetrize(generate_uniform_gap(param.n, param.n, param.gap, param.seed));
+  const CsrMatrix lower = extract_lower_triangle(full);
+
+  std::vector<std::byte> full_bytes, lower_bytes;
+  serialize_csr(full, full_bytes);
+  serialize_csr(lower, lower_bytes);
+  const CsrView full_view = CsrView::from_bytes(full_bytes);
+  const CsrView lower_view = CsrView::from_bytes(lower_bytes);
+
+  SplitMix64 rng(param.seed ^ 0xF00D);
+  std::vector<double> x(param.n), y_full(param.n), y_half(param.n);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+
+  full_view.multiply(x, y_full);
+  multiply_symmetric_half(lower_view, x, y_half);
+  for (std::uint64_t i = 0; i < param.n; ++i) {
+    EXPECT_NEAR(y_half[i], y_full[i], 1e-12 * (1.0 + std::abs(y_full[i]))) << "i=" << i;
+  }
+  // The paper's memory argument: half storage carries ~half the non-zeros.
+  EXPECT_LT(lower.nnz(), full.nnz() * 6 / 10 + param.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SymmetricHalfStorage,
+                         ::testing::Values(HalfStorageCase{16, 1.5, 1},
+                                           HalfStorageCase{64, 2.0, 2},
+                                           HalfStorageCase{128, 4.0, 3},
+                                           HalfStorageCase{256, 8.0, 4},
+                                           HalfStorageCase{333, 3.0, 5}),
+                         [](const auto& info) { return "n" + std::to_string(info.param.n); });
+
+TEST(SymmetricHalf, RejectsUpperTriangleEntries) {
+  const CsrMatrix full = generate_banded(6, 1, 3.0);  // has upper entries
+  std::vector<std::byte> bytes;
+  serialize_csr(full, bytes);
+  const CsrView view = CsrView::from_bytes(bytes);
+  std::vector<double> x(6, 1.0), y(6);
+  EXPECT_THROW(multiply_symmetric_half(view, x, y), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dooc::spmv

@@ -1,0 +1,94 @@
+// Inspect a sparse matrix file (binary CSR or Matrix Market): dimensions,
+// non-zeros, row-population statistics, bandwidth, symmetry check.
+//
+//   dooc_matinfo A.bin
+//   dooc_matinfo A.mtx
+#include <cstdio>
+#include <fstream>
+
+#include "common/stats.hpp"
+#include "spmv/csr.hpp"
+#include "spmv/matrix_market.hpp"
+
+using namespace dooc;
+
+namespace {
+
+spmv::CsrMatrix load(const std::string& path) {
+  // Try binary CSR first (cheap magic check), fall back to Matrix Market.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (in && magic == spmv::kCsrMagic) {
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<std::byte> bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+    return spmv::materialize(spmv::CsrView::from_bytes(bytes));
+  }
+  return spmv::read_matrix_market_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: dooc_matinfo FILE\n");
+    return 2;
+  }
+  try {
+    const auto m = load(argv[1]);
+    m.validate();
+    std::printf("file:        %s\n", argv[1]);
+    std::printf("dimensions:  %llu x %llu\n", static_cast<unsigned long long>(m.rows),
+                static_cast<unsigned long long>(m.cols));
+    std::printf("non-zeros:   %llu (%.3f per row, density %.2e)\n",
+                static_cast<unsigned long long>(m.nnz()),
+                static_cast<double>(m.nnz()) / static_cast<double>(m.rows),
+                static_cast<double>(m.nnz()) /
+                    (static_cast<double>(m.rows) * static_cast<double>(m.cols)));
+    std::printf("binary CSR:  %s\n",
+                format_bytes(static_cast<double>(m.serialized_bytes())).c_str());
+
+    RunningStats row_stats;
+    std::uint64_t empty_rows = 0, bandwidth = 0, diag_nnz = 0;
+    bool structurally_symmetric = m.rows == m.cols;
+    for (std::uint64_t r = 0; r < m.rows; ++r) {
+      const std::uint64_t count = m.row_ptr[r + 1] - m.row_ptr[r];
+      row_stats.add(static_cast<double>(count));
+      if (count == 0) ++empty_rows;
+      for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+        const std::uint64_t c = m.col_idx[k];
+        bandwidth = std::max(bandwidth, c > r ? c - r : r - c);
+        if (c == r) ++diag_nnz;
+        if (structurally_symmetric) {
+          // Check the mirrored entry exists (pattern symmetry only).
+          bool found = false;
+          for (std::uint64_t k2 = m.row_ptr[c]; k2 < m.row_ptr[c + 1]; ++k2) {
+            if (m.col_idx[k2] == r) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) structurally_symmetric = false;
+        }
+      }
+    }
+    std::printf("row nnz:     min %.0f / mean %.2f / max %.0f (stddev %.2f)\n", row_stats.min(),
+                row_stats.mean(), row_stats.max(), row_stats.stddev());
+    std::printf("empty rows:  %llu\n", static_cast<unsigned long long>(empty_rows));
+    std::printf("bandwidth:   %llu\n", static_cast<unsigned long long>(bandwidth));
+    std::printf("diagonal:    %llu of %llu present\n", static_cast<unsigned long long>(diag_nnz),
+                static_cast<unsigned long long>(std::min(m.rows, m.cols)));
+    if (m.rows == m.cols) {
+      std::printf("symmetry:    pattern %s\n",
+                  structurally_symmetric ? "symmetric" : "asymmetric");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
