@@ -6,13 +6,14 @@
 //   * prefetch window depth and I/O filter count on a throttled device,
 //     measured in wall time (overlap of I/O and compute).
 // Real backend, local filesystem, throttled reads where noted.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "common/stopwatch.hpp"
 #include "sched/engine.hpp"
 #include "solver/iterated_spmv.hpp"
 #include "spmv/generator.hpp"
@@ -131,9 +132,7 @@ void prefetch_ablation() {
     sched::EngineConfig ecfg;
     ecfg.prefetch_window = window;
     sched::Engine engine(cluster, ecfg);
-    Stopwatch sw;
-    driver.run(engine);
-    const double t = sw.seconds();
+    const double t = bench::time_seconds([&] { driver.run(engine); });
     if (window == 0) baseline = t;
     table.add_row({std::to_string(window), bench::fmt("%.2f s", t),
                    bench::fmt("%.0f%%", t / baseline * 100.0)});
@@ -164,14 +163,14 @@ void io_workers_ablation() {
       out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
     }
     node.import_file("data", path, 4ull << 20);
-    Stopwatch sw;
+    const std::uint64_t t0 = bench::now_ns();
     for (std::uint64_t b = 0; b < total / (4ull << 20); ++b) {
       node.prefetch({"data", b * (4ull << 20), 4ull << 20});
     }
     while (node.resident_bytes() < total) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    const double t = sw.seconds();
+    const double t = bench::seconds_since(t0);
     table.add_row({std::to_string(workers), bench::fmt("%.2f s", t),
                    format_bandwidth(static_cast<double>(total) / t)});
     std::filesystem::remove_all(dir);

@@ -15,7 +15,6 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "common/stopwatch.hpp"
 #include "storage/io_worker.hpp"
 
 using namespace dooc;
@@ -35,9 +34,9 @@ double chase_latency(std::size_t bytes) {
   }
   const std::size_t loads = std::max<std::size_t>(2'000'000, n);
   std::uint64_t p = 0;
-  Stopwatch sw;
+  const std::uint64_t t0 = bench::now_ns();
   for (std::size_t i = 0; i < loads; ++i) p = next[p];
-  const double seconds = sw.seconds();
+  const double seconds = bench::seconds_since(t0);
   // Defeat dead-code elimination.
   if (p == static_cast<std::uint64_t>(-1)) std::printf("!");
   return seconds / static_cast<double>(loads) * 1e9;
@@ -73,14 +72,11 @@ int main() {
   SplitMix64 rng(7);
   for (int i = 0; i < 64; ++i) {
     const std::uint64_t off = (rng.next_below(file_bytes / 4096)) * 4096;
-    Stopwatch sw;
-    io.read(path.string(), off, 4096).get();
-    lat.add(sw.seconds() * 1e6);
+    lat.add(bench::time_seconds([&] { io.read(path.string(), off, 4096).get(); }) * 1e6);
   }
   // Streaming bandwidth.
-  Stopwatch sw;
-  io.read(path.string(), 0, file_bytes).get();
-  const double bw = static_cast<double>(file_bytes) / sw.seconds();
+  const double stream_s = bench::time_seconds([&] { io.read(path.string(), 0, file_bytes).get(); });
+  const double bw = static_cast<double>(file_bytes) / stream_s;
   std::printf("4 KiB read latency: median-ish mean %.1f us (min %.1f, max %.1f)\n", lat.mean(),
               lat.min(), lat.max());
   std::printf("streaming read bandwidth: %s\n", format_bandwidth(bw).c_str());

@@ -8,14 +8,20 @@
 //      saving one load per node per subsequent iteration (3+2 loads).
 //
 // This is a REAL run of the middleware (storage + hierarchical scheduler)
-// on generated binary-CSR files, not a simulation: the load counts come
-// from the storage layer's disk-read counters and the lanes from the
-// engine's execution trace.
+// on generated binary-CSR files, not a simulation. The lanes and the load
+// counts are derived from the obs trace stream: the engine emits one
+// Complete event per task (cat "task", pid = node, args task id /
+// missing_bytes), collected by TraceSession and replayed here in
+// timestamp order — the same events a DOOC_TRACE=out.json run would ship
+// to Perfetto.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/engine.hpp"
 #include "solver/iterated_spmv.hpp"
 #include "spmv/generator.hpp"
@@ -25,9 +31,19 @@ using namespace dooc;
 namespace {
 
 struct RunOutcome {
-  std::vector<std::string> lanes;       // one line per node
+  std::vector<std::string> lanes;  // one line per node
   std::vector<std::uint64_t> loads_per_iteration;
+  std::string metrics_text;  // obs metrics snapshot for this run
 };
+
+/// Fetch a named argument off a trace event (engine task spans carry
+/// "task" = TaskId and "missing_bytes").
+std::optional<std::uint64_t> event_arg(const obs::Event& ev, std::uint32_t name_id) {
+  for (std::uint8_t i = 0; i < ev.nargs; ++i) {
+    if (ev.arg_name[i] == name_id) return ev.arg_val[i];
+  }
+  return std::nullopt;
+}
 
 RunOutcome run_plan(sched::LocalPolicy policy, const std::string& tag, bool barrier) {
   const std::string scratch = std::filesystem::temp_directory_path() /
@@ -57,31 +73,44 @@ RunOutcome run_plan(sched::LocalPolicy policy, const std::string& tag, bool barr
   sched::EngineConfig ecfg;
   ecfg.local_policy = policy;
   ecfg.prefetch_window = 0;  // Fig. 5's scenario has no room to read ahead
+
+  // Collect-only trace session around the run (empty path = no file); the
+  // Gantt below is reconstructed purely from the event stream.
+  obs::Metrics::instance().reset();
+  obs::TraceSession::instance().start();
   sched::Engine engine(cluster, ecfg);
-  const auto report = driver.run(engine);
+  (void)driver.run(engine);
+  std::vector<obs::Event> events = obs::TraceSession::instance().stop();
 
   RunOutcome out;
+  out.metrics_text = obs::Metrics::instance().snapshot().to_text();
   out.loads_per_iteration.assign(3, 0);
-  // Build lanes from the trace, ordered by start time.
-  std::vector<sched::TraceEvent> trace = report.trace;
-  std::sort(trace.begin(), trace.end(),
-            [](const sched::TraceEvent& a, const sched::TraceEvent& b) { return a.start < b.start; });
   out.lanes.assign(3, "");
-  for (const auto& ev : trace) {
-    if (ev.kind == "sync") continue;
-    std::string cell = ev.name;
-    if (ev.kind == "multiply" && ev.missing_bytes >= (1 << 20)) {
+
+  const std::uint32_t cat_task = obs::intern("task");
+  const std::uint32_t arg_task = obs::intern("task");
+  const std::uint32_t arg_missing = obs::intern("missing_bytes");
+  // stop() returns events sorted by ts; replay the task spans in order.
+  for (const auto& ev : events) {
+    if (ev.phase != obs::Phase::Complete || ev.cat != cat_task) continue;
+    if (ev.pid < 0 || ev.pid >= 3) continue;
+    const auto task_id = event_arg(ev, arg_task);
+    if (!task_id) continue;
+    const auto& task = driver.graph().task(static_cast<sched::TaskId>(*task_id));
+    if (task.kind == "sync") continue;
+    std::string cell = obs::interned(ev.name);
+    const std::uint64_t missing = event_arg(ev, arg_missing).value_or(0);
+    if (task.kind == "multiply" && missing >= (1 << 20)) {
       // Only count real sub-matrix loads; a missing 16 KB vector part is
       // network traffic, not a bold L(A) of Fig. 5.
       // The matrix block had to be loaded first — the bold L(A_u_v) of Fig 5.
-      const auto& task = driver.graph().task(ev.task);
       cell = "L(" + task.inputs[0].array + ")+" + cell;
       const auto group = static_cast<std::size_t>(task.group);
       if (group >= 1 && group <= out.loads_per_iteration.size()) {
         ++out.loads_per_iteration[group - 1];
       }
     }
-    auto& lane = out.lanes[static_cast<std::size_t>(ev.node)];
+    auto& lane = out.lanes[static_cast<std::size_t>(ev.pid)];
     lane += (lane.empty() ? "" : " | ") + cell;
   }
   std::filesystem::remove_all(scratch);
@@ -115,6 +144,9 @@ int main() {
   // x^1 work); load counts get timing-dependent but stay below FIFO's.
   const auto async = run_plan(sched::LocalPolicy::DataAware, "async", false);
   print_outcome("fully asynchronous variant (no barrier, as drawn in Fig. 5(b))", async);
+
+  bench::section("obs metrics — data-aware barrier run");
+  std::printf("%s", baf.metrics_text.c_str());
 
   std::printf(
       "\npaper: the regular plan performs 3 matrix loads per node per iteration;\n"

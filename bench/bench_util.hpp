@@ -1,12 +1,35 @@
-// Shared helpers for the reproduction benches: aligned table printing and
-// the paper's reference numbers for side-by-side output.
+// Shared helpers for the reproduction benches: aligned table printing,
+// steady-clock timing, and the paper's reference numbers for side-by-side
+// output. All timing goes through obs::TraceClock — the same monotonic
+// clock that stamps trace events — so bench numbers and trace durations
+// are directly comparable.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
+
 namespace dooc::bench {
+
+/// Monotonic nanoseconds since process start (obs::TraceClock epoch).
+inline std::uint64_t now_ns() { return obs::TraceClock::now_ns(); }
+
+/// Seconds elapsed since an earlier now_ns() stamp.
+inline double seconds_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::TraceClock::now_ns() - start_ns) * 1e-9;
+}
+
+/// Time a callable, returning seconds. The result of `fn` is discarded;
+/// keep side effects observable to avoid the compiler deleting the work.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const std::uint64_t t0 = now_ns();
+  fn();
+  return seconds_since(t0);
+}
 
 /// Fixed-width table printer: feed rows of cells, print with padding.
 class Table {

@@ -13,11 +13,14 @@
 //  4. the result is verified against an in-memory reference.
 //
 // Run:  ./quickstart [--n=4096] [--nodes=3] [--iterations=4] [--budget-mb=24]
+//                    [--trace-out=run.json]
 #include <cstdio>
 #include <filesystem>
 
 #include "common/options.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/engine.hpp"
 #include "solver/iterated_spmv.hpp"
 #include "spmv/generator.hpp"
@@ -30,6 +33,10 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(opts.get_int("nodes", 3));
   const int iterations = static_cast<int>(opts.get_int("iterations", 4));
   const auto budget = static_cast<std::uint64_t>(opts.get_int("budget-mb", 24)) << 20;
+  // Chrome trace of the run — open in chrome://tracing or ui.perfetto.dev,
+  // or summarize with tools/dooc_tracecat.
+  const std::string trace_out = opts.get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceSession::instance().start(trace_out);
 
   // 1. Bring up the cluster: storage layer + scratch directories.
   const std::string scratch =
@@ -72,6 +79,15 @@ int main(int argc, char** argv) {
               format_bytes(static_cast<double>(report.storage.disk_read_bytes)).c_str(),
               static_cast<unsigned long long>(report.storage.evictions),
               format_bytes(static_cast<double>(report.cross_node_bytes)).c_str());
+
+  if (!trace_out.empty()) {
+    const auto events = obs::TraceSession::instance().stop();
+    std::printf("\ntrace: %zu events written to %s (open in ui.perfetto.dev, or run\n"
+                "       dooc_tracecat %s for a summary)\n",
+                events.size(), trace_out.c_str(), trace_out.c_str());
+    std::printf("\nobs metrics snapshot:\n%s",
+                obs::Metrics::instance().snapshot().to_text().c_str());
+  }
 
   // 4. Verify against a dense in-memory reference.
   std::vector<double> x(n);

@@ -7,10 +7,12 @@
 // Run:  ./testbed_sim [--nodes=16] [--iterations=4] [--mode=interleaved]
 //                     [--node-bw-gbs=1.5] [--aggregate-gbs=18.6]
 //                     [--local-ssd] [--submatrix-gb=4] [--blocks=5]
+//                     [--trace-out=sim.json]
 #include <cstdio>
 
 #include "common/options.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "simcluster/testbed.hpp"
 
 using namespace dooc;
@@ -36,6 +38,11 @@ int main(int argc, char** argv) {
     res.aggregate_read_cap = res.node_read_cap * e.nodes;  // no shared cap
     res.bw_noise = 0.02;                                   // no GPFS jitter
   }
+
+  // Virtual-time Chrome trace of the simulated run (same schema as the
+  // real backend: task/io lanes per node, timestamps in simulated seconds).
+  const std::string trace_out = opts.get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceSession::instance().start(trace_out);
 
   std::printf("testbed: %d nodes, %s policy, %.2f TB matrix, %d iterations\n", e.nodes,
               e.mode == solver::ReductionMode::Simple ? "simple" : "interleaved",
@@ -63,6 +70,12 @@ int main(int argc, char** argv) {
                 "CPU-h/iter\n",
                 rl.time_seconds(), 100.0 * (1.0 - rl.time_seconds() / r.time_seconds()),
                 rl.cpu_hours_per_iteration());
+  }
+
+  if (!trace_out.empty()) {
+    const auto events = obs::TraceSession::instance().stop();
+    std::printf("\ntrace: %zu virtual-time events written to %s\n", events.size(),
+                trace_out.c_str());
   }
   return 0;
 }

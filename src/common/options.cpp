@@ -31,7 +31,10 @@ Options Options::from_args(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional_.push_back(std::move(arg));
+      continue;
+    }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {

@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace dooc {
 
@@ -26,14 +27,16 @@ class Options {
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
-  /// Parse "--key=value" / "--flag" style arguments; unknown positional
-  /// arguments are returned untouched (callers handle them).
+  /// Parse "--key=value" / "--flag" style arguments; anything not starting
+  /// with "--" is collected as a positional argument, in order.
   static Options from_args(int argc, char** argv);
 
   [[nodiscard]] const std::map<std::string, std::string>& raw() const { return values_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace dooc

@@ -82,6 +82,13 @@ class BlockingQueue {
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
+  /// Instantaneous fullness hint (racy by nature): true when a push would
+  /// currently block. Used to route slow-path instrumentation.
+  [[nodiscard]] bool full() const {
+    std::lock_guard lock(mutex_);
+    return items_.size() >= capacity_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

@@ -68,6 +68,37 @@ class Log2Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
   static constexpr int kBuckets = 64;
 
+  /// Approximate p-quantile (p in [0,1]) by linear interpolation inside the
+  /// bucket where the cumulative count crosses p, clamped to the exact
+  /// observed [min, max]. Bucket b covers [2^(b-1), 2^b); bucket 0 is [0,1).
+  [[nodiscard]] double quantile(double p) const noexcept {
+    const std::uint64_t n = stats_.count();
+    if (n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(n);
+    double cumulative = 0.0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const auto c = static_cast<double>(counts_[static_cast<std::size_t>(b)]);
+      if (c == 0.0) continue;
+      if (cumulative + c >= target) {
+        const double lo = b == 0 ? 0.0 : std::exp2(b - 1);
+        const double hi = std::exp2(b);
+        const double frac = c > 0.0 ? (target - cumulative) / c : 0.0;
+        return std::clamp(lo + frac * (hi - lo), stats_.min(), stats_.max());
+      }
+      cumulative += c;
+    }
+    return stats_.max();
+  }
+
+  /// Combine two histograms (associative, like RunningStats::merge).
+  void merge(const Log2Histogram& other) noexcept {
+    stats_.merge(other.stats_);
+    for (int b = 0; b < kBuckets; ++b) {
+      counts_[static_cast<std::size_t>(b)] += other.counts_[static_cast<std::size_t>(b)];
+    }
+  }
+
  private:
   RunningStats stats_;
   std::uint64_t counts_[kBuckets] = {};

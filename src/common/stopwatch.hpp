@@ -1,24 +1,31 @@
-// Wall-clock stopwatch for the real execution backend. The discrete-event
-// simulator keeps its own virtual clock (see simcluster/event_queue.hpp).
+// Wall-clock stopwatch for the real execution backend, reading the same
+// steady TraceClock as the obs trace layer so stopwatch numbers and trace
+// timestamps are directly comparable. The discrete-event simulator keeps
+// its own virtual clock (see simcluster).
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.hpp"
 
 namespace dooc {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_ns_(obs::TraceClock::now_ns()) {}
 
-  void restart() { start_ = clock::now(); }
+  void restart() { start_ns_ = obs::TraceClock::now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return obs::TraceClock::now_ns() - start_ns_;
+  }
 
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(elapsed_ns()) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace dooc

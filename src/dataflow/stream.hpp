@@ -16,13 +16,21 @@
 #include "common/queue.hpp"
 #include "dataflow/message.hpp"
 #include "dataflow/transport.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dooc::df {
 
 class Stream {
  public:
   Stream(std::string name, std::size_t capacity, TransportStats* stats)
-      : name_(std::move(name)), queue_(capacity), stats_(stats) {}
+      : name_(std::move(name)),
+        queue_(capacity),
+        stats_(stats),
+        m_stall_ns_(&obs::Metrics::instance().counter("stream." + name_ + ".credit_stall_ns")),
+        m_stalls_(&obs::Metrics::instance().counter("stream." + name_ + ".credit_stalls")),
+        m_stall_us_(&obs::Metrics::instance().histogram("stream.credit_stall_us")) {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -34,11 +42,27 @@ class Stream {
     if (producers_.fetch_sub(1, std::memory_order_acq_rel) == 1) queue_.close();
   }
 
-  /// Blocking send. Returns false if the stream was force-closed.
+  /// Blocking send. Returns false if the stream was force-closed. A push
+  /// against a full queue is a credit stall (the producer has exhausted the
+  /// stream's credit window) and is timed into the obs metrics/trace.
   bool push(Message m, NodeId from) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(m.payload.size(), std::memory_order_relaxed);
-    return queue_.push(Entry{std::move(m), from});
+    if (!queue_.full()) return queue_.push(Entry{std::move(m), from});
+    // Likely-stall slow path. The fullness hint is racy, but a false
+    // positive only costs two clock reads and records a ~0-length stall.
+    const std::uint64_t t0 = obs::TraceClock::now_ns();
+    std::optional<obs::Span> span;
+    if (obs::trace_enabled()) {
+      span.emplace("stream", "credit-stall", static_cast<std::int32_t>(from));
+      span->arg("bytes", m.payload.size());
+    }
+    const bool ok = queue_.push(Entry{std::move(m), from});
+    const std::uint64_t stalled = obs::TraceClock::now_ns() - t0;
+    m_stall_ns_->add(stalled);
+    m_stalls_->add();
+    m_stall_us_->add(static_cast<double>(stalled) * 1e-3);
+    return ok;
   }
 
   /// Blocking receive on behalf of a consumer living on node `to`.
@@ -60,6 +84,8 @@ class Stream {
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return messages_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return bytes_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  /// Cumulative time producers spent blocked on stream credit.
+  [[nodiscard]] std::uint64_t credit_stall_ns() const noexcept { return m_stall_ns_->get(); }
 
  private:
   struct Entry {
@@ -73,6 +99,9 @@ class Stream {
   std::atomic<int> producers_{0};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  obs::Counter* m_stall_ns_;
+  obs::Counter* m_stalls_;
+  obs::Histogram* m_stall_us_;
 };
 
 /// Producer endpoint bound to one filter instance.

@@ -1,0 +1,31 @@
+// The single steady clock behind every runtime measurement: trace event
+// timestamps, Stopwatch, the I/O filters' latency accounting and the bench
+// timing helpers all read TraceClock, so their numbers line up in one
+// trace file without cross-clock skew.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dooc::obs {
+
+class TraceClock {
+ public:
+  /// Nanoseconds since the process epoch (the first call in this process).
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+  }
+
+  static double now_seconds() noexcept { return static_cast<double>(now_ns()) * 1e-9; }
+
+ private:
+  static std::chrono::steady_clock::time_point epoch() noexcept {
+    static const auto e = std::chrono::steady_clock::now();
+    return e;
+  }
+};
+
+}  // namespace dooc::obs

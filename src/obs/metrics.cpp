@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace dooc::obs {
+
+// ---- snapshot ---------------------------------------------------------------
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [key, in] : other.entries) {
+    auto [it, fresh] = entries.try_emplace(key, in);
+    if (fresh) continue;
+    Entry& mine = it->second;
+    switch (in.kind) {
+      case MetricKind::Counter: mine.count += in.count; break;
+      case MetricKind::Gauge:
+        if (in.value != 0.0) mine.value = in.value;
+        break;
+      case MetricKind::Histogram: mine.hist.merge(in.hist); break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [key, e] : entries) {
+    std::string label = key.name;
+    if (key.node >= 0) label += "[node" + std::to_string(key.node) + "]";
+    switch (e.kind) {
+      case MetricKind::Counter:
+        std::snprintf(buf, sizeof(buf), "%-44s counter  %llu\n", label.c_str(),
+                      static_cast<unsigned long long>(e.count));
+        break;
+      case MetricKind::Gauge:
+        std::snprintf(buf, sizeof(buf), "%-44s gauge    %.6g\n", label.c_str(), e.value);
+        break;
+      case MetricKind::Histogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-44s hist     n=%llu mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
+                      label.c_str(), static_cast<unsigned long long>(e.hist.stats().count()),
+                      e.hist.stats().mean(), e.hist.quantile(0.50), e.hist.quantile(0.99),
+                      e.hist.stats().max());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+struct Metrics::Slot {
+  MetricKind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Metrics::Impl {
+  mutable std::mutex mutex;
+  std::map<MetricsSnapshot::Key, Slot> slots;
+};
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics;  // leaked: instrumented threads may outlive statics
+  return *m;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl* i = new Impl;
+  return *i;
+}
+
+Metrics::Slot& Metrics::slot(const std::string& name, int node, MetricKind kind) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  auto [it, fresh] = im.slots.try_emplace(MetricsSnapshot::Key{name, node});
+  Slot& s = it->second;
+  if (fresh) {
+    s.kind = kind;
+    switch (kind) {
+      case MetricKind::Counter: s.counter = std::make_unique<Counter>(); break;
+      case MetricKind::Gauge: s.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::Histogram: s.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (s.kind != kind) {
+    throw std::logic_error("metric '" + name + "' re-registered with a different kind");
+  }
+  return s;
+}
+
+Counter& Metrics::counter(const std::string& name, int node) {
+  return *slot(name, node, MetricKind::Counter).counter;
+}
+
+Gauge& Metrics::gauge(const std::string& name, int node) {
+  return *slot(name, node, MetricKind::Gauge).gauge;
+}
+
+Histogram& Metrics::histogram(const std::string& name, int node) {
+  return *slot(name, node, MetricKind::Histogram).histogram;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  MetricsSnapshot snap;
+  for (const auto& [key, s] : im.slots) {
+    MetricsSnapshot::Entry e;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case MetricKind::Counter: e.count = s.counter->get(); break;
+      case MetricKind::Gauge: e.value = s.gauge->get(); break;
+      case MetricKind::Histogram: e.hist = s.histogram->get(); break;
+    }
+    snap.entries.emplace(key, std::move(e));
+  }
+  return snap;
+}
+
+void Metrics::reset() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  for (auto& [key, s] : im.slots) {
+    switch (s.kind) {
+      case MetricKind::Counter: s.counter->reset(); break;
+      case MetricKind::Gauge: s.gauge->reset(); break;
+      case MetricKind::Histogram: s.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace dooc::obs

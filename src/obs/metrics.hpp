@@ -1,0 +1,120 @@
+// dooc::obs metrics registry (half 2 of the observability subsystem).
+//
+// Named counters, gauges and histograms with per-node scoping: a metric is
+// identified by (name, node), node -1 meaning runtime-wide. Counters and
+// gauges are relaxed atomics (always on — same cost class as the storage
+// layer's existing StorageStats); histograms reuse Log2Histogram under a
+// mutex and sit on paths where the measured operation dominates (I/O,
+// stream stalls). Snapshots are plain values that merge associatively, so
+// per-node snapshots roll up into cluster totals and benches print them
+// with to_text().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dooc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double get() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  void add(double x) noexcept {
+    std::lock_guard lock(mutex_);
+    hist_.add(x);
+  }
+  [[nodiscard]] Log2Histogram get() const {
+    std::lock_guard lock(mutex_);
+    return hist_;
+  }
+  void reset() {
+    std::lock_guard lock(mutex_);
+    hist_ = Log2Histogram{};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Log2Histogram hist_;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/// Point-in-time copy of the registry (or a subset). Values only — safe to
+/// merge, ship, diff and print.
+struct MetricsSnapshot {
+  struct Key {
+    std::string name;
+    int node = -1;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t count = 0;  ///< Counter value
+    double value = 0.0;       ///< Gauge value
+    Log2Histogram hist;       ///< Histogram contents
+  };
+
+  std::map<Key, Entry> entries;
+
+  /// Associative, commutative combine: counters add, gauges keep the
+  /// non-default (last-written wins on conflict), histograms merge.
+  void merge(const MetricsSnapshot& other);
+
+  /// "name[node]  kind  value" table; histograms print count/mean/p50/p99.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Process-wide registry. Lookups take a mutex — resolve references once
+/// (constructor time) and keep the pointer; the metric objects live for
+/// the process lifetime.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  Counter& counter(const std::string& name, int node = -1);
+  Gauge& gauge(const std::string& name, int node = -1);
+  Histogram& histogram(const std::string& name, int node = -1);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every registered metric (benches/tests isolating a phase).
+  void reset();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+ private:
+  Metrics() = default;
+  struct Slot;
+  Slot& slot(const std::string& name, int node, MetricKind kind);
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace dooc::obs

@@ -1,0 +1,67 @@
+// Lock-free single-producer / single-consumer ring of trace events.
+//
+// Each tracing thread owns one ring: the owner pushes (producer side), and
+// either the TraceSession drains it at stop() or the owner drains its own
+// ring when full — both consumer roles are serialized by the session's
+// drain mutex, so the SPSC invariant holds. A push onto a full ring fails
+// (drop-newest) so the producer never touches slots the consumer may be
+// reading; callers that must not lose events flush first and retry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dooc::obs {
+
+template <typename Event>
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity_pow2 = 1 << 13)
+      : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side (owning thread only). False when full. A failed push is
+  /// not yet a drop — the caller may flush and retry; it records the drop
+  /// with note_dropped() only when it gives the event up.
+  bool try_push(const Event& ev) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = ev;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Record one abandoned event (push failed and the caller won't retry).
+  void note_dropped() noexcept { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Consumer side (hold the session drain mutex). Appends to `out`.
+  std::size_t drain(std::vector<Event>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(head - tail);
+    for (; tail != head; ++tail) out.push_back(slots_[tail & mask_]);
+    tail_.store(tail, std::memory_order_release);
+    return n;
+  }
+
+  /// Events abandoned after a failed push (never silently lost:
+  /// exported traces report this count).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Event> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace dooc::obs

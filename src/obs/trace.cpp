@@ -1,0 +1,275 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/ring.hpp"
+
+namespace dooc::obs {
+
+// ---- string interning -------------------------------------------------------
+
+namespace {
+
+struct InternTable {
+  std::shared_mutex mutex;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::deque<std::string> strings;  // deque: stable addresses for the views
+
+  InternTable() {
+    strings.emplace_back("");  // id 0 = empty
+    ids.emplace(strings.back(), 0);
+  }
+};
+
+InternTable& intern_table() {
+  // Leaked: events may outlive statics. Construction (which seeds id 0) is
+  // serialized by the magic-static initialization guard.
+  static InternTable* t = new InternTable;
+  return *t;
+}
+
+}  // namespace
+
+std::uint32_t intern(std::string_view s) {
+  InternTable& t = intern_table();
+  {
+    std::shared_lock lock(t.mutex);
+    auto it = t.ids.find(s);
+    if (it != t.ids.end()) return it->second;
+  }
+  std::unique_lock lock(t.mutex);
+  auto it = t.ids.find(s);
+  if (it != t.ids.end()) return it->second;
+  t.strings.emplace_back(s);
+  const auto id = static_cast<std::uint32_t>(t.strings.size() - 1);
+  t.ids.emplace(t.strings.back(), id);
+  return id;
+}
+
+const std::string& interned(std::uint32_t id) {
+  InternTable& t = intern_table();
+  std::shared_lock lock(t.mutex);
+  return t.strings.at(id);
+}
+
+std::int32_t current_thread_lane() {
+  static std::atomic<std::int32_t> next{0};
+  thread_local const std::int32_t lane = next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+// ---- session ----------------------------------------------------------------
+
+struct TraceSession::Impl {
+  using Ring = EventRing<Event>;
+
+  std::mutex mutex;  ///< guards rings registry, central buffer, path (consumer side)
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::vector<Event> central;  ///< drained-but-not-yet-exported events
+  std::string path;
+
+  std::shared_ptr<Ring> ring_for_this_thread() {
+    thread_local std::shared_ptr<Ring> mine;
+    if (!mine) {
+      mine = std::make_shared<Ring>();
+      std::lock_guard lock(mutex);
+      rings.push_back(mine);
+    }
+    return mine;
+  }
+};
+
+TraceSession& TraceSession::instance() {
+  static TraceSession* s = new TraceSession;
+  return *s;
+}
+
+TraceSession::Impl& TraceSession::impl() {
+  static Impl* i = new Impl;
+  return *i;
+}
+
+void TraceSession::start(std::string path) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mutex);
+  // Discard any stale events from before this session.
+  std::vector<Event> scratch;
+  for (auto& r : im.rings) r->drain(scratch);
+  im.central.clear();
+  im.path = path_ = std::move(path);
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+std::vector<Event> TraceSession::stop() {
+  detail::g_trace_enabled.store(false, std::memory_order_release);
+  Impl& im = impl();
+  std::vector<Event> events;
+  std::string path;
+  {
+    std::lock_guard lock(im.mutex);
+    events.swap(im.central);
+    for (auto& r : im.rings) r->drain(events);
+    path = im.path;
+    im.path.clear();
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+  if (!path.empty()) {
+    // A bad output path must not abort the run (stop() may execute from an
+    // atexit handler, where an escaping exception calls std::terminate).
+    try {
+      write_chrome_trace(path, events);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "obs: trace not written: %s\n", e.what());
+    }
+  }
+  return events;
+}
+
+void TraceSession::init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [this] {
+    if (const char* p = std::getenv("DOOC_TRACE"); p != nullptr && *p != '\0') {
+      start(p);
+      // Nobody will call stop() for us: flush the trace when the process
+      // exits (rings are leaked singletons, so draining here is safe).
+      std::atexit([] {
+        auto& session = TraceSession::instance();
+        if (session.active()) (void)session.stop();
+      });
+    }
+  });
+}
+
+std::uint64_t TraceSession::dropped() const {
+  Impl& im = const_cast<TraceSession*>(this)->impl();
+  std::lock_guard lock(im.mutex);
+  std::uint64_t n = 0;
+  for (const auto& r : im.rings) n += r->dropped();
+  return n;
+}
+
+void TraceSession::emit(const Event& ev) {
+  if (!trace_enabled()) return;
+  Impl& im = impl();
+  auto ring = im.ring_for_this_thread();
+  if (ring->try_push(ev)) return;
+  // Ring full: become the consumer of our own ring (serialized with the
+  // session drain by the same mutex), flush into the central buffer, retry.
+  std::lock_guard lock(im.mutex);
+  ring->drain(im.central);
+  if (!ring->try_push(ev)) ring->note_dropped();
+}
+
+namespace {
+
+/// Pulls DOOC_TRACE from the environment once per process, as soon as any
+/// binary linking the instrumentation starts up.
+const bool g_env_hook = [] {
+  TraceSession::instance().init_from_env();
+  return true;
+}();
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_event_json(std::string& out, const Event& ev) {
+  char buf[160];
+  out += "{\"name\":\"";
+  json_escape(out, interned(ev.name));
+  out += "\",\"cat\":\"";
+  json_escape(out, interned(ev.cat));
+  out += "\",\"ph\":\"";
+  switch (ev.phase) {
+    case Phase::Complete: out += 'X'; break;
+    case Phase::Instant: out += 'i'; break;
+    case Phase::Counter: out += 'C'; break;
+  }
+  out += '"';
+  // Chrome expects microseconds; keep ns precision with 3 decimals.
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", static_cast<double>(ev.ts_ns) / 1e3);
+  out += buf;
+  if (ev.phase == Phase::Complete) {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", static_cast<double>(ev.dur_ns) / 1e3);
+    out += buf;
+  }
+  if (ev.phase == Phase::Instant) out += ",\"s\":\"t\"";
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", ev.pid, ev.tid);
+  out += buf;
+  if (ev.nargs > 0) {
+    out += ",\"args\":{";
+    for (std::uint8_t i = 0; i < ev.nargs; ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      json_escape(out, interned(ev.arg_name[i]));
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(ev.arg_val[i]));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Name the process lanes: pid -1 is runtime-wide, pid n is virtual node n.
+  std::vector<std::int32_t> pids;
+  for (const auto& ev : events) pids.push_back(ev.pid);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  bool first = true;
+  for (std::int32_t pid : pids) {
+    if (!first) out += ",\n";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                  "\"args\":{\"name\":\"%s%d\"}}",
+                  pid, pid < 0 ? "runtime" : "node", pid < 0 ? 0 : pid);
+    out += buf;
+  }
+  for (const auto& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event_json(out, ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open trace output '" + path + "'");
+  const std::string json = chrome_trace_json(events);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace dooc::obs

@@ -1,0 +1,322 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace dooc::obs {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader — just enough for trace-event
+/// documents (objects, arrays, strings, numbers, bools, null).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::vector<ParsedEvent> read_document() {
+    skip_ws();
+    std::vector<ParsedEvent> events;
+    if (peek() == '[') {
+      read_event_array(events);
+    } else {
+      expect('{');
+      bool found = false;
+      while (true) {
+        skip_ws();
+        const std::string key = read_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        if (key == "traceEvents") {
+          read_event_array(events);
+          found = true;
+        } else {
+          skip_value();
+        }
+        skip_ws();
+        if (peek() == ',') { ++pos_; continue; }
+        expect('}');
+        break;
+      }
+      if (!found) fail("no traceEvents array");
+    }
+    return events;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("trace JSON parse error at byte " + std::to_string(pos_) + ": " +
+                             why);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // ASCII control codes are all we ever emit; map others to '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  double read_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  void skip_value() {
+    skip_ws();
+    switch (peek()) {
+      case '"': read_string(); return;
+      case '{': skip_composite('{', '}'); return;
+      case '[': skip_composite('[', ']'); return;
+      case 't': pos_ += 4; return;  // true
+      case 'f': pos_ += 5; return;  // false
+      case 'n': pos_ += 4; return;  // null
+      default: read_number(); return;
+    }
+  }
+
+  void skip_composite(char open, char close) {
+    expect(open);
+    int depth = 1;
+    while (depth > 0) {
+      if (pos_ >= text_.size()) fail("unterminated value");
+      const char c = text_[pos_];
+      if (c == '"') {
+        read_string();
+        continue;
+      }
+      if (c == open) ++depth;
+      if (c == close) --depth;
+      ++pos_;
+    }
+  }
+
+  void read_args(ParsedEvent& ev) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return; }
+    while (true) {
+      skip_ws();
+      const std::string key = read_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '"' || peek() == '{' || peek() == '[' || peek() == 't' ||
+          peek() == 'f' || peek() == 'n') {
+        skip_value();
+      } else {
+        ev.args[key] = read_number();
+      }
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      break;
+    }
+  }
+
+  ParsedEvent read_event() {
+    ParsedEvent ev;
+    expect('{');
+    while (true) {
+      skip_ws();
+      const std::string key = read_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "name") ev.name = read_string();
+      else if (key == "cat") ev.cat = read_string();
+      else if (key == "ph") { const std::string p = read_string(); ev.phase = p.empty() ? '?' : p[0]; }
+      else if (key == "ts") ev.ts_us = read_number();
+      else if (key == "dur") ev.dur_us = read_number();
+      else if (key == "pid") ev.pid = static_cast<int>(read_number());
+      else if (key == "tid") ev.tid = static_cast<int>(read_number());
+      else if (key == "args") read_args(ev);
+      else skip_value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      break;
+    }
+    return ev;
+  }
+
+  void read_event_array(std::vector<ParsedEvent>& out) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return; }
+    while (true) {
+      skip_ws();
+      out.push_back(read_event());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      break;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_io_category(const std::string& cat) {
+  return cat.find("io") != std::string::npos || cat == "storage";
+}
+
+/// Total length of the union of [start, end) intervals.
+double union_length(std::vector<std::pair<double, double>> iv) {
+  std::sort(iv.begin(), iv.end());
+  double total = 0.0, cur_start = 0.0, cur_end = -1.0;
+  bool open = false;
+  for (const auto& [s, e] : iv) {
+    if (e <= s) continue;
+    if (!open || s > cur_end) {
+      if (open) total += cur_end - cur_start;
+      cur_start = s;
+      cur_end = e;
+      open = true;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (open) total += cur_end - cur_start;
+  return total;
+}
+
+/// Length of the intersection of two interval unions.
+double intersection_length(std::vector<std::pair<double, double>> a,
+                           std::vector<std::pair<double, double>> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Merge each side into disjoint intervals first, then sweep.
+  auto merge = [](std::vector<std::pair<double, double>>& iv) {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& [s, e] : iv) {
+      if (e <= s) continue;
+      if (!out.empty() && s <= out.back().second) {
+        out.back().second = std::max(out.back().second, e);
+      } else {
+        out.emplace_back(s, e);
+      }
+    }
+    iv = std::move(out);
+  };
+  merge(a);
+  merge(b);
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second) ++i; else ++j;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<ParsedEvent> parse_chrome_trace(const std::string& json) {
+  return JsonReader(json).read_document();
+}
+
+std::vector<ParsedEvent> load_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open trace file '" + path + "'");
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_chrome_trace(text);
+}
+
+TraceSummary summarize(const std::vector<ParsedEvent>& events) {
+  TraceSummary s;
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  std::map<std::string, std::vector<std::pair<double, double>>> by_cat;
+  std::vector<std::pair<double, double>> io, compute;
+  for (const auto& ev : events) {
+    if (ev.phase != 'X') continue;
+    const double end = ev.ts_us + ev.dur_us;
+    lo = std::min(lo, ev.ts_us);
+    hi = std::max(hi, end);
+    by_cat[ev.cat].emplace_back(ev.ts_us, end);
+    s.category_sum_us[ev.cat] += ev.dur_us;
+    ++s.category_events[ev.cat];
+    if (is_io_category(ev.cat)) io.emplace_back(ev.ts_us, end);
+    if (ev.cat == "task") compute.emplace_back(ev.ts_us, end);
+  }
+  if (hi > lo) s.wall_us = hi - lo;
+  for (auto& [cat, iv] : by_cat) s.category_busy_us[cat] = union_length(iv);
+  s.io_busy_us = union_length(io);
+  s.compute_busy_us = union_length(compute);
+  s.io_overlapped_us = intersection_length(std::move(io), std::move(compute));
+  return s;
+}
+
+std::vector<ParsedEvent> slowest(const std::vector<ParsedEvent>& events, std::size_t n,
+                                 const std::string& cat) {
+  std::vector<ParsedEvent> picked;
+  for (const auto& ev : events) {
+    if (ev.phase != 'X') continue;
+    if (!cat.empty() && ev.cat != cat) continue;
+    picked.push_back(ev);
+  }
+  std::sort(picked.begin(), picked.end(),
+            [](const ParsedEvent& a, const ParsedEvent& b) { return a.dur_us > b.dur_us; });
+  if (picked.size() > n) picked.resize(n);
+  return picked;
+}
+
+}  // namespace dooc::obs

@@ -1,0 +1,61 @@
+// Re-parse Chrome trace-event JSON produced by the trace layer (or by any
+// compatible tool) back into events, plus the summary analytics behind
+// `dooc_tracecat`: per-category time, I/O vs compute overlap fraction and
+// slowest-task ranking. Lives in the library so the round-trip is testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dooc::obs {
+
+/// One parsed trace event. Times in microseconds (Chrome's unit).
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char phase = '?';  ///< 'X', 'i', 'C', 'M', ...
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+  std::map<std::string, double> args;
+};
+
+/// Parse a {"traceEvents":[...]} document (a bare top-level array is also
+/// accepted). Throws std::runtime_error with position info on malformed
+/// input. Non-numeric args are kept out of `args` (names/labels only
+/// matter to viewers).
+std::vector<ParsedEvent> parse_chrome_trace(const std::string& json);
+std::vector<ParsedEvent> load_chrome_trace(const std::string& path);
+
+struct TraceSummary {
+  double wall_us = 0.0;  ///< max(ts+dur) - min(ts) over duration events
+  /// Per-category busy time: union of that category's event intervals
+  /// (overlapping spans within a category are not double-counted).
+  std::map<std::string, double> category_busy_us;
+  /// Sum of durations per category (double-counts concurrency; the ratio
+  /// busy/sum is the category's parallelism).
+  std::map<std::string, double> category_sum_us;
+  std::map<std::string, std::uint64_t> category_events;
+  double io_busy_us = 0.0;       ///< union of "io" + "storage" spans
+  double compute_busy_us = 0.0;  ///< union of "task" spans
+  double io_overlapped_us = 0.0; ///< io time with compute active too
+
+  /// The paper's headline: the fraction of I/O hidden behind compute.
+  [[nodiscard]] double overlap_fraction() const {
+    return io_busy_us > 0.0 ? io_overlapped_us / io_busy_us : 0.0;
+  }
+};
+
+/// Aggregate duration ('X') events. Categories containing "io" or equal to
+/// "storage" count as I/O; category "task" counts as compute.
+TraceSummary summarize(const std::vector<ParsedEvent>& events);
+
+/// The `n` longest events of category `cat` (all categories if empty),
+/// longest first.
+std::vector<ParsedEvent> slowest(const std::vector<ParsedEvent>& events, std::size_t n,
+                                 const std::string& cat = "task");
+
+}  // namespace dooc::obs

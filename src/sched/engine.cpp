@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace dooc::sched {
 
@@ -95,6 +97,29 @@ TaskId Engine::pick_locked(NodeState& ns) {
     }
   }
   const TaskId picked = ns.ready[best_idx];
+  if (obs::trace_enabled() && config_.local_policy == LocalPolicy::DataAware) {
+    // A reorder decision: the data-aware policy jumped past the task static
+    // order would have run. These instants are the Fig. 5(b) "back and
+    // forth" moments, visible right on the node's timeline.
+    std::size_t fifo_idx = 0;
+    for (std::size_t i = 1; i < ns.ready.size(); ++i) {
+      if (key_static(ns.ready[i]) < key_static(ns.ready[fifo_idx])) fifo_idx = i;
+    }
+    if (ns.ready[fifo_idx] != picked) {
+      obs::Event ev;
+      ev.phase = obs::Phase::Instant;
+      ev.cat = obs::intern("sched");
+      ev.name = obs::intern("reorder");
+      ev.pid = ns.node;
+      ev.ts_ns = obs::TraceClock::now_ns();
+      ev.nargs = 2;
+      ev.arg_name[0] = obs::intern("picked");
+      ev.arg_val[0] = picked;
+      ev.arg_name[1] = obs::intern("over");
+      ev.arg_val[1] = ns.ready[fifo_idx];
+      obs::TraceSession::instance().emit(ev);
+    }
+  }
   ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
   return picked;
 }
@@ -142,6 +167,18 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
   // synchronization is a control message, not a transfer).
   const bool control_only = task.kind == "sync";
 
+  const bool tracing = obs::trace_enabled();
+  bool inputs_resident = true;
+  std::uint64_t missing_bytes = 0;
+  if ((config_.record_trace || tracing) && !control_only) {
+    for (const auto& in : task.inputs) {
+      if (!storage_node.is_resident(in)) {
+        inputs_resident = false;
+        missing_bytes += in.length;
+      }
+    }
+  }
+
   TraceEvent ev;
   if (config_.record_trace) {
     ev.task = t;
@@ -149,16 +186,16 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
     ev.kind = task.kind;
     ev.node = ns.node;
     ev.slot = slot;
-    ev.inputs_resident = true;
-    if (!control_only) {
-      for (const auto& in : task.inputs) {
-        if (!storage_node.is_resident(in)) {
-          ev.inputs_resident = false;
-          ev.missing_bytes += in.length;
-        }
-      }
-    }
+    ev.inputs_resident = inputs_resident;
+    ev.missing_bytes = missing_bytes;
     ev.start = clock_.seconds();
+  }
+  // tid is the per-thread lane (unique process-wide), so spans emitted by
+  // one worker always nest cleanly; the compute slot travels as an arg.
+  std::optional<obs::Span> task_span;
+  if (tracing) {
+    task_span.emplace("task", task.name, ns.node);
+    task_span->arg("task", t).arg("missing_bytes", missing_bytes);
   }
 
   // Acquire output handles (immediate) then input handles (may block until
@@ -176,6 +213,13 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
       input_futures.push_back(storage_node.request_read(in));
     }
     inputs.reserve(task.inputs.size());
+    // The wait for loads/producers renders as a nested span under the task,
+    // so Fig. 5-style Gantt views show load time vs compute time directly.
+    std::optional<obs::Span> wait_span;
+    if (tracing && !inputs_resident) {
+      wait_span.emplace("sched", "wait-inputs", ns.node);
+      wait_span->arg("missing_bytes", missing_bytes);
+    }
     for (auto& f : input_futures) inputs.push_back(f.get());
   }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace dooc::sim {
 
@@ -15,6 +16,28 @@ namespace {
 /// Inputs smaller than this are control messages (sync tokens): their cost
 /// is part of the sync task's barrier charge, not a modeled transfer.
 constexpr std::uint64_t kControlBytes = 4096;
+
+/// Emit a Complete event stamped in *virtual* nanoseconds. Same schema as
+/// the real backend (pid = virtual node, cat "task"/"io"), so the trace
+/// reader and dooc_tracecat work unchanged on simulated runs.
+void emit_virtual(std::string_view cat, std::string_view name, int pid, int tid,
+                  double start_s, double dur_s, std::string_view arg_name = {},
+                  std::uint64_t arg_val = 0) {
+  obs::Event ev;
+  ev.phase = obs::Phase::Complete;
+  ev.cat = obs::intern(cat);
+  ev.name = obs::intern(name);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = static_cast<std::uint64_t>(start_s * 1e9);
+  ev.dur_ns = static_cast<std::uint64_t>(dur_s * 1e9);
+  if (!arg_name.empty()) {
+    ev.nargs = 1;
+    ev.arg_name[0] = obs::intern(arg_name);
+    ev.arg_val[0] = arg_val;
+  }
+  obs::TraceSession::instance().emit(ev);
+}
 }  // namespace
 
 struct SimEngine::NodeState {
@@ -150,6 +173,7 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
   st.fetching_on.insert(ns.node);
   const FlowId id = net_.start_flow(st.bytes, std::move(path), own_cap);
   flow_target_[id] = {ns.node, array};
+  flow_start_[id] = now_;
   if (is_gpfs) {
     gpfs_flows_.insert(id);
     metrics_.disk_bytes += st.bytes;
@@ -193,7 +217,13 @@ void SimEngine::schedule_node(NodeState& ns) {
     if (best == ns.ready.size()) break;  // nothing resident-ready
     const TaskId t = ns.ready[best];
     ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(best));
-    ns.running.emplace_back(t, now_ + task_duration(graph_->task(t)));
+    const double dur = task_duration(graph_->task(t));
+    ns.running.emplace_back(t, now_ + dur);
+    if (obs::trace_enabled()) {
+      // Slot index the task just took doubles as its compute-lane tid.
+      emit_virtual("task", graph_->task(t).name, ns.node,
+                   static_cast<int>(ns.running.size()) - 1, now_, dur, "task", t);
+    }
     // Pin inputs for the duration.
     for (const auto& in : graph_->task(t).inputs) {
       if (in.length <= kControlBytes) continue;
@@ -284,6 +314,7 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   metrics_.cores_per_node = res_.cores_per_node;
   net_ = FlowNetwork{};
   flow_target_.clear();
+  flow_start_.clear();
   gpfs_flows_.clear();
   noise_state_ = 0;
 
@@ -380,9 +411,17 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
     for (FlowId id : finished) {
       const auto [node, array] = flow_target_.at(id);
       flow_target_.erase(id);
-      gpfs_flows_.erase(id);
+      const bool was_gpfs = gpfs_flows_.erase(id) != 0;
       auto& ns = *nodes_[static_cast<std::size_t>(node)];
       auto& st = arrays_.at(array);
+      if (const auto sit = flow_start_.find(id); sit != flow_start_.end()) {
+        if (obs::trace_enabled()) {
+          emit_virtual("io", was_gpfs ? "gpfs_read" : "ib_fetch", node,
+                       100 + static_cast<int>(id % 16), sit->second, now_ - sit->second,
+                       "bytes", st.bytes);
+        }
+        flow_start_.erase(sit);
+      }
       st.fetching_on.erase(node);
       ns.inflight_bytes -= st.bytes;
       if (st.readers_remaining > 0) make_resident(node, array);

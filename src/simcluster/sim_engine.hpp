@@ -130,6 +130,7 @@ class SimEngine {
   std::map<std::string, ArrayState> arrays_;
   FlowNetwork net_;
   std::map<FlowId, std::pair<int, std::string>> flow_target_;  // flow -> (node, array)
+  std::map<FlowId, double> flow_start_;  // virtual start time, for trace export
   std::set<FlowId> gpfs_flows_;
   double now_ = 0;
   std::size_t completed_ = 0;

@@ -7,8 +7,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dooc::storage {
 
@@ -42,8 +44,11 @@ std::uint64_t now_nanos() {
 
 }  // namespace
 
-IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw)
-    : throttle_read_bw_(throttle_read_bw) {
+IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw, int node)
+    : throttle_read_bw_(throttle_read_bw),
+      node_(node),
+      read_latency_us_(&obs::Metrics::instance().histogram("io.read_latency_us", node)),
+      write_latency_us_(&obs::Metrics::instance().histogram("io.write_latency_us", node)) {
   DOOC_REQUIRE(num_workers > 0, "need at least one I/O worker");
   workers_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
@@ -102,6 +107,11 @@ void IoWorkerPool::worker_loop() {
 }
 
 void IoWorkerPool::do_read(Job& job) {
+  std::optional<obs::Span> span;
+  if (obs::trace_enabled()) {
+    span.emplace("io", "disk_read", node_);
+    span->arg("bytes", job.length);
+  }
   const std::uint64_t t0 = now_nanos();
   ScopedFd fd(job.path, O_RDONLY);
   DataBuffer buffer(job.length);
@@ -126,13 +136,20 @@ void IoWorkerPool::do_read(Job& job) {
       std::this_thread::sleep_for(std::chrono::duration<double>(want_seconds - spent));
     }
   }
-  read_nanos_.fetch_add(now_nanos() - t0, std::memory_order_relaxed);
+  const std::uint64_t elapsed = now_nanos() - t0;
+  read_nanos_.fetch_add(elapsed, std::memory_order_relaxed);
   reads_.fetch_add(1, std::memory_order_relaxed);
   read_bytes_.fetch_add(job.length, std::memory_order_relaxed);
+  read_latency_us_->add(static_cast<double>(elapsed) * 1e-3);
   job.read_done.set_value(std::move(buffer));
 }
 
 void IoWorkerPool::do_write(Job& job) {
+  std::optional<obs::Span> span;
+  if (obs::trace_enabled()) {
+    span.emplace("io", "disk_write", node_);
+    span->arg("bytes", job.data.size());
+  }
   const std::uint64_t t0 = now_nanos();
   ScopedFd fd(job.path, O_WRONLY | O_CREAT);
   std::uint64_t done = 0;
@@ -146,9 +163,11 @@ void IoWorkerPool::do_write(Job& job) {
     }
     done += static_cast<std::uint64_t>(n);
   }
-  write_nanos_.fetch_add(now_nanos() - t0, std::memory_order_relaxed);
+  const std::uint64_t elapsed = now_nanos() - t0;
+  write_nanos_.fetch_add(elapsed, std::memory_order_relaxed);
   writes_.fetch_add(1, std::memory_order_relaxed);
   write_bytes_.fetch_add(total, std::memory_order_relaxed);
+  write_latency_us_->add(static_cast<double>(elapsed) * 1e-3);
   job.write_done.set_value();
 }
 

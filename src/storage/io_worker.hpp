@@ -17,6 +17,7 @@
 
 #include "common/buffer.hpp"
 #include "common/queue.hpp"
+#include "obs/metrics.hpp"
 #include "storage/types.hpp"
 
 namespace dooc::storage {
@@ -24,8 +25,9 @@ namespace dooc::storage {
 class IoWorkerPool {
  public:
   /// `throttle_read_bw` (bytes/s; 0 = off) inserts sleeps to emulate a slow
-  /// device on fast local filesystems.
-  explicit IoWorkerPool(int num_workers, double throttle_read_bw = 0.0);
+  /// device on fast local filesystems. `node` scopes the pool's obs metrics
+  /// and trace events to a virtual node (-1 = unscoped).
+  explicit IoWorkerPool(int num_workers, double throttle_read_bw = 0.0, int node = -1);
   ~IoWorkerPool();
 
   IoWorkerPool(const IoWorkerPool&) = delete;
@@ -69,6 +71,10 @@ class IoWorkerPool {
   BlockingQueue<Job> jobs_;
   std::vector<std::thread> workers_;
   double throttle_read_bw_;
+  int node_;
+  /// Resolved once; obs::Histogram is internally synchronized.
+  obs::Histogram* read_latency_us_;
+  obs::Histogram* write_latency_us_;
   std::atomic<std::uint64_t> reads_{0}, read_bytes_{0}, writes_{0}, write_bytes_{0};
   std::atomic<std::uint64_t> read_nanos_{0}, write_nanos_{0};
 };

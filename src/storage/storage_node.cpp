@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace dooc::storage {
 
@@ -81,10 +83,14 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       config_(std::move(config)),
       catalog_(catalog),
       transport_(transport),
-      io_(config_.io_workers, config_.throttle_read_bw),
+      io_(config_.io_workers, config_.throttle_read_bw, node_id),
       fetchers_(static_cast<std::size_t>(config_.io_workers)),
       rng_(config_.seed ^ (0x9e37u * static_cast<std::uint64_t>(node_id + 1))),
-      lookup_rng_state_(config_.seed + static_cast<std::uint64_t>(node_id) * 7919) {
+      lookup_rng_state_(config_.seed + static_cast<std::uint64_t>(node_id) * 7919),
+      m_cache_hit_(&obs::Metrics::instance().counter("storage.cache_hit", node_id)),
+      m_cache_miss_(&obs::Metrics::instance().counter("storage.cache_miss", node_id)),
+      m_evictions_(&obs::Metrics::instance().counter("storage.evictions", node_id)),
+      m_prefetches_(&obs::Metrics::instance().counter("storage.prefetch_issued", node_id)) {
   DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
   scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
   fs::create_directories(scratch_dir_);
@@ -241,12 +247,14 @@ std::future<ReadHandle> StorageNode::request_read(const Interval& iv) {
   const BlockKey key{iv.array, b};
   auto it = blocks_.find(key);
   if (it != blocks_.end() && it->second->state == BlockState::Resident && it->second->sealed) {
+    m_cache_hit_->add();
     Block& blk = *it->second;
     ++blk.read_pins;
     blk.lru_tick = ++tick_;
     promise.set_value(ReadHandle(this, it->second, iv));
     return future;
   }
+  m_cache_miss_->add();
   BlockPtr block;
   if (it != blocks_.end()) {
     block = it->second;
@@ -273,6 +281,8 @@ void StorageNode::prefetch(const Interval& iv) {
     std::lock_guard lock(stats_mutex_);
     ++stats_.prefetch_requests;
   }
+  m_prefetches_->add();
+  if (obs::trace_enabled()) obs::emit_instant(obs::intern("storage"), obs::intern("prefetch"), id_, 0);
   std::unique_lock lock(mutex_);
   const BlockKey key{iv.array, b};
   auto it = blocks_.find(key);
@@ -300,6 +310,11 @@ void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block) {
 }
 
 void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
+  std::optional<obs::Span> span;
+  if (obs::trace_enabled()) {
+    span.emplace("storage", "block_fetch", id_);
+    span->arg("block", block->key.block).arg("bytes", block->bytes);
+  }
   try {
     const BlockKey key = block->key;
     const BlockInfo info = catalog_->shard_for(key.array).block_info(key);
@@ -617,6 +632,10 @@ void StorageNode::reclaim_locked(std::uint64_t incoming) {
       std::lock_guard slock(stats_mutex_);
       ++stats_.evictions;
       stats_.evicted_bytes += victim->bytes;
+    }
+    m_evictions_->add();
+    if (obs::trace_enabled()) {
+      obs::emit_instant(obs::intern("storage"), obs::intern("evict"), id_, 0);
     }
     pending_drops_.push_back(victim->key);
     blocks_.erase(victim->key);

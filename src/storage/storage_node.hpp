@@ -36,6 +36,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "dataflow/transport.hpp"
+#include "obs/metrics.hpp"
 #include "storage/catalog.hpp"
 #include "storage/io_worker.hpp"
 #include "storage/types.hpp"
@@ -259,6 +260,13 @@ class StorageNode {
 
   std::mutex stats_mutex_;
   StorageStats stats_;
+
+  // obs metrics, resolved once per node (relaxed atomics, always on —
+  // same cost class as stats_ above).
+  obs::Counter* m_cache_hit_;
+  obs::Counter* m_cache_miss_;
+  obs::Counter* m_evictions_;
+  obs::Counter* m_prefetches_;
 };
 
 }  // namespace dooc::storage

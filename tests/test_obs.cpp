@@ -1,0 +1,309 @@
+// Tests for the dooc::obs observability subsystem: event rings, the trace
+// session (Chrome JSON round-trip, nesting, disabled path), the metrics
+// registry (snapshot/merge semantics) and the Log2Histogram extensions the
+// registry relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+using namespace dooc;
+
+namespace {
+
+obs::Event instant_event(std::uint32_t name, std::uint64_t ts) {
+  obs::Event ev;
+  ev.phase = obs::Phase::Instant;
+  ev.cat = obs::intern("test");
+  ev.name = name;
+  ev.ts_ns = ts;
+  return ev;
+}
+
+}  // namespace
+
+// ---- EventRing -------------------------------------------------------------
+
+TEST(EventRing, WrapsAroundAcrossManyDrains) {
+  obs::EventRing<obs::Event> ring(8);
+  std::vector<obs::Event> out;
+  const std::uint32_t name = obs::intern("wrap");
+  // Push far more events than the capacity, draining every 3 pushes: the
+  // head/tail indices wrap the 8-slot buffer many times over.
+  std::uint64_t pushed = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_push(instant_event(name, pushed)));
+      ++pushed;
+    }
+    ring.drain(out);
+  }
+  ASSERT_EQ(out.size(), pushed);
+  for (std::uint64_t i = 0; i < pushed; ++i) {
+    EXPECT_EQ(out[i].ts_ns, i);  // FIFO order preserved across wraps
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(EventRing, RejectsNewestWhenFullAndCountsAbandoned) {
+  obs::EventRing<obs::Event> ring(4);
+  const std::uint32_t name = obs::intern("full");
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(instant_event(name, i)));
+  // Full ring rejects; a rejection is only a drop once the caller gives up.
+  EXPECT_FALSE(ring.try_push(instant_event(name, 99)));
+  EXPECT_FALSE(ring.try_push(instant_event(name, 100)));
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.note_dropped();
+  ring.note_dropped();
+  EXPECT_EQ(ring.dropped(), 2u);
+  std::vector<obs::Event> out;
+  ring.drain(out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.back().ts_ns, 3u);  // the oldest four survive, newest rejected
+  // After draining, pushes succeed again.
+  EXPECT_TRUE(ring.try_push(instant_event(name, 4)));
+}
+
+// ---- TraceSession ----------------------------------------------------------
+
+TEST(TraceSession, CollectsEveryEventFromConcurrentWriters) {
+  auto& session = obs::TraceSession::instance();
+  session.start();  // collect-only
+  // Each thread owns its ring; with 4 threads x 40k events the rings (8k
+  // slots) wrap and self-drain many times. Nothing may be lost.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40000;
+  const std::uint32_t cat = obs::intern("test");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::uint32_t name = obs::intern("writer" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::Event ev;
+        ev.phase = obs::Phase::Instant;
+        ev.cat = cat;
+        ev.name = name;
+        ev.ts_ns = static_cast<std::uint64_t>(i);
+        ev.pid = t;
+        session.emit(ev);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto events = session.stop();
+  EXPECT_EQ(session.dropped(), 0u);
+  std::size_t ours = 0;
+  std::vector<std::size_t> per_thread(kThreads, 0);
+  for (const auto& ev : events) {
+    if (ev.cat != cat) continue;  // other subsystems may trace too
+    ++ours;
+    ASSERT_GE(ev.pid, 0);
+    ASSERT_LT(ev.pid, kThreads);
+    ++per_thread[static_cast<std::size_t>(ev.pid)];
+  }
+  EXPECT_EQ(ours, static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[static_cast<std::size_t>(t)], kPerThread);
+}
+
+TEST(TraceSession, DisabledPathIsANoOp) {
+  auto& session = obs::TraceSession::instance();
+  if (session.active()) session.stop();
+  ASSERT_FALSE(obs::trace_enabled());
+  // Emitting while disabled must leave nothing behind.
+  const std::uint32_t cat = obs::intern("disabled-test");
+  obs::emit_instant(cat, obs::intern("dropped"), -1, 0);
+  session.emit(instant_event(obs::intern("dropped-too"), 1));
+  session.start();
+  const auto events = session.stop();
+  for (const auto& ev : events) EXPECT_NE(ev.cat, cat);
+}
+
+TEST(TraceSession, ChromeJsonRoundTripPreservesNesting) {
+  auto& session = obs::TraceSession::instance();
+  session.start();
+  {
+    obs::Span outer("test", "outer", /*pid=*/7);
+    outer.arg("depth", 1);
+    {
+      obs::Span inner("test", "inner", /*pid=*/7);
+      inner.arg("depth", 2);
+      obs::emit_instant(obs::intern("test"), obs::intern("tick"), 7, obs::current_thread_lane());
+    }
+  }
+  obs::emit_counter(obs::intern("test"), obs::intern("water"), 7, 42);
+  const auto events = session.stop();
+  const std::string json = obs::chrome_trace_json(events);
+
+  const auto parsed = obs::parse_chrome_trace(json);
+  // Pull back our events by category.
+  std::vector<obs::ParsedEvent> mine;
+  for (const auto& ev : parsed) {
+    if (ev.cat == "test") mine.push_back(ev);
+  }
+  ASSERT_EQ(mine.size(), 4u);
+
+  const auto find = [&](const std::string& name) -> const obs::ParsedEvent& {
+    for (const auto& ev : mine) {
+      if (ev.name == name) return ev;
+    }
+    ADD_FAILURE() << "missing event " << name;
+    return mine.front();
+  };
+  const auto& outer = find("outer");
+  const auto& inner = find("inner");
+  const auto& tick = find("tick");
+  const auto& water = find("water");
+
+  EXPECT_EQ(outer.phase, 'X');
+  EXPECT_EQ(inner.phase, 'X');
+  EXPECT_EQ(tick.phase, 'i');
+  EXPECT_EQ(water.phase, 'C');
+  EXPECT_EQ(outer.pid, 7);
+  EXPECT_EQ(outer.args.at("depth"), 1.0);
+  EXPECT_EQ(inner.args.at("depth"), 2.0);
+  EXPECT_EQ(water.args.at("value"), 42.0);
+
+  // Nesting: inner and the instant fall inside outer on the same lane.
+  // (%.3f us rounding in the writer allows sub-ns slack.)
+  const double eps = 0.01;
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_GE(inner.ts_us, outer.ts_us - eps);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + eps);
+  EXPECT_GE(tick.ts_us, inner.ts_us - eps);
+  EXPECT_LE(tick.ts_us, inner.ts_us + inner.dur_us + eps);
+
+  // And the reader's analytics see the spans.
+  const auto summary = obs::summarize(parsed);
+  EXPECT_GT(summary.category_busy_us.at("test"), 0.0);
+  EXPECT_EQ(summary.category_events.at("test"), 2u);  // the two X events
+}
+
+// ---- Metrics ---------------------------------------------------------------
+
+namespace {
+
+obs::MetricsSnapshot single_counter(const std::string& name, int node, std::uint64_t v) {
+  obs::MetricsSnapshot s;
+  auto& e = s.entries[{name, node}];
+  e.kind = obs::MetricKind::Counter;
+  e.count = v;
+  return s;
+}
+
+bool snapshots_equal(const obs::MetricsSnapshot& a, const obs::MetricsSnapshot& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (const auto& [key, ea] : a.entries) {
+    const auto it = b.entries.find(key);
+    if (it == b.entries.end()) return false;
+    const auto& eb = it->second;
+    if (ea.kind != eb.kind || ea.count != eb.count) return false;
+    if (std::abs(ea.value - eb.value) > 1e-12) return false;
+    if (ea.hist.stats().count() != eb.hist.stats().count()) return false;
+    if (ea.hist.stats().count() > 0 && std::abs(ea.hist.quantile(0.5) - eb.hist.quantile(0.5)) > 1e-9)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Metrics, RegistryScopedByNodeAndSnapshot) {
+  auto& m = obs::Metrics::instance();
+  auto& c0 = m.counter("unit.reads", 0);
+  auto& c1 = m.counter("unit.reads", 1);
+  ASSERT_NE(&c0, &c1);
+  ASSERT_EQ(&c0, &m.counter("unit.reads", 0));  // stable reference
+  c0.add(3);
+  c1.add(5);
+  m.gauge("unit.depth").set(2.5);
+  m.histogram("unit.lat_us").add(100.0);
+  m.histogram("unit.lat_us").add(200.0);
+
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.entries.at({"unit.reads", 0}).count, 3u);
+  EXPECT_EQ(snap.entries.at({"unit.reads", 1}).count, 5u);
+  EXPECT_DOUBLE_EQ(snap.entries.at({"unit.depth", -1}).value, 2.5);
+  EXPECT_EQ(snap.entries.at({"unit.lat_us", -1}).hist.stats().count(), 2u);
+
+  const auto text = snap.to_text();
+  EXPECT_NE(text.find("unit.reads"), std::string::npos);
+  EXPECT_NE(text.find("unit.lat_us"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotMergeIsAssociative) {
+  // Counters with overlapping and disjoint keys, plus histograms.
+  auto a = single_counter("m.x", -1, 1);
+  auto b = single_counter("m.x", -1, 10);
+  auto c = single_counter("m.y", 2, 100);
+  {
+    auto& e = c.entries[{"m.h", -1}];
+    e.kind = obs::MetricKind::Histogram;
+    e.hist.add(4.0);
+    e.hist.add(64.0);
+  }
+  {
+    auto& e = b.entries[{"m.h", -1}];
+    e.kind = obs::MetricKind::Histogram;
+    e.hist.add(16.0);
+  }
+
+  // (a + b) + c
+  auto left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  auto bc = b;
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+
+  EXPECT_TRUE(snapshots_equal(left, right));
+  EXPECT_EQ(left.entries.at({"m.x", -1}).count, 11u);
+  EXPECT_EQ(left.entries.at({"m.y", 2}).count, 100u);
+  EXPECT_EQ(left.entries.at({"m.h", -1}).hist.stats().count(), 3u);
+}
+
+// ---- Log2Histogram additions ----------------------------------------------
+
+TEST(Log2Histogram, QuantileInterpolatesWithinBuckets) {
+  Log2Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  // p50 of 1..100 sits near 50; log2 buckets give coarse but bounded answers.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  // Quantiles clamp to the observed range.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // Monotone in p.
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+  // Empty histogram.
+  Log2Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Log2Histogram, MergeMatchesCombinedStream) {
+  Log2Histogram a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double xa = 3.0 * i + 1.0;
+    const double xb = 700.0 + 11.0 * i;
+    a.add(xa);
+    b.add(xb);
+    combined.add(xa);
+    combined.add(xb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.stats().count(), combined.stats().count());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), combined.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), combined.quantile(0.99));
+}

@@ -1,0 +1,63 @@
+// dooc_tracecat: summarize a Chrome trace written by the obs layer
+// (DOOC_TRACE=out.json, --trace-out, or TraceSession::start).
+//
+// Reports per-category (phase) time, the I/O-vs-compute overlap fraction —
+// the paper's headline metric — and the top-N slowest tasks.
+//
+// Usage:  dooc_tracecat trace.json [--top=10] [--cat=task]
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/options.hpp"
+#include "obs/trace_reader.hpp"
+
+using namespace dooc;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  if (opts.positional().empty()) {
+    std::fprintf(stderr, "usage: dooc_tracecat <trace.json> [--top=10] [--cat=task]\n");
+    return 2;
+  }
+  const std::string path = opts.positional().front();
+  const auto top_n = static_cast<std::size_t>(opts.get_int("top", 10));
+  const std::string cat = opts.get("cat", "task");
+
+  std::vector<obs::ParsedEvent> events;
+  try {
+    events = obs::load_chrome_trace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dooc_tracecat: %s\n", e.what());
+    return 1;
+  }
+
+  const obs::TraceSummary s = obs::summarize(events);
+  std::printf("%s: %zu events, wall %.3f ms\n\n", path.c_str(), events.size(),
+              s.wall_us * 1e-3);
+
+  std::printf("%-12s %12s %12s %10s %8s\n", "phase", "busy (ms)", "sum (ms)", "parallel",
+              "events");
+  std::printf("%-12s %12s %12s %10s %8s\n", "-----", "---------", "--------", "--------",
+              "------");
+  for (const auto& [name, busy] : s.category_busy_us) {
+    const double sum = s.category_sum_us.at(name);
+    std::printf("%-12s %12.3f %12.3f %9.2fx %8llu\n", name.c_str(), busy * 1e-3, sum * 1e-3,
+                busy > 0.0 ? sum / busy : 0.0,
+                static_cast<unsigned long long>(s.category_events.at(name)));
+  }
+
+  std::printf("\nI/O busy    %10.3f ms\n", s.io_busy_us * 1e-3);
+  std::printf("compute busy %9.3f ms\n", s.compute_busy_us * 1e-3);
+  std::printf("I/O overlapped with compute: %.3f ms (%.1f%% of I/O hidden)\n",
+              s.io_overlapped_us * 1e-3, 100.0 * s.overlap_fraction());
+
+  const auto top = obs::slowest(events, top_n, cat);
+  if (!top.empty()) {
+    std::printf("\ntop %zu slowest '%s' events:\n", top.size(), cat.c_str());
+    for (const auto& ev : top) {
+      std::printf("  %10.3f ms  node %-3d %s\n", ev.dur_us * 1e-3, ev.pid, ev.name.c_str());
+    }
+  }
+  return 0;
+}
