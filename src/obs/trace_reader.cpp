@@ -305,6 +305,37 @@ TraceSummary summarize(const std::vector<ParsedEvent>& events) {
   return s;
 }
 
+WaitAnalysis analyze_waits(const std::vector<ParsedEvent>& events, const std::string& name) {
+  std::vector<double> all;
+  std::map<int, std::vector<double>> by_node;
+  std::map<int, std::vector<double>> by_group;
+  for (const auto& ev : events) {
+    if (ev.phase != 'X' || ev.cat != "sched" || ev.name != name) continue;
+    all.push_back(ev.dur_us);
+    by_node[ev.pid].push_back(ev.dur_us);
+    const auto g = ev.args.find("group");
+    by_group[g != ev.args.end() ? static_cast<int>(g->second) : -1].push_back(ev.dur_us);
+  }
+  const auto stats = [](std::vector<double>& durs) {
+    WaitStats s;
+    s.count = durs.size();
+    if (durs.empty()) return s;
+    std::sort(durs.begin(), durs.end());
+    for (const double d : durs) s.total_us += d;
+    s.mean_us = s.total_us / static_cast<double>(durs.size());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(durs.size())));
+    s.p99_us = durs[rank > 0 ? rank - 1 : 0];
+    s.max_us = durs.back();
+    return s;
+  };
+  WaitAnalysis a;
+  a.overall = stats(all);
+  for (auto& [node, durs] : by_node) a.per_node[node] = stats(durs);
+  for (auto& [group, durs] : by_group) a.per_group[group] = stats(durs);
+  return a;
+}
+
 std::vector<ParsedEvent> slowest(const std::vector<ParsedEvent>& events, std::size_t n,
                                  const std::string& cat) {
   std::vector<ParsedEvent> picked;

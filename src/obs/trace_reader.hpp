@@ -58,4 +58,26 @@ TraceSummary summarize(const std::vector<ParsedEvent>& events);
 std::vector<ParsedEvent> slowest(const std::vector<ParsedEvent>& events, std::size_t n,
                                  const std::string& cat = "task");
 
+/// Distribution of one population of wait spans.
+struct WaitStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double p99_us = 0.0;  ///< nearest-rank
+  double max_us = 0.0;
+};
+
+/// How long staged tasks sat InputsPending — the completion-driven
+/// engine's wait-for-data spans ("sched"/"inputs-pending"), broken out per
+/// node and per task group (the solver phase carried as the span's
+/// "group" arg).
+struct WaitAnalysis {
+  WaitStats overall;
+  std::map<int, WaitStats> per_node;   ///< key: pid (virtual node)
+  std::map<int, WaitStats> per_group;  ///< key: "group" arg; -1 = untagged
+};
+
+WaitAnalysis analyze_waits(const std::vector<ParsedEvent>& events,
+                           const std::string& name = "inputs-pending");
+
 }  // namespace dooc::obs

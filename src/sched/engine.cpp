@@ -1,11 +1,13 @@
 #include "sched/engine.hpp"
 
 #include <algorithm>
-#include <map>
 #include <optional>
+#include <set>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dooc::sched {
@@ -32,15 +34,80 @@ storage::StorageStats delta(const storage::StorageStats& after, const storage::S
   return d;
 }
 
+/// Completion tag layout: | epoch:16 | task:32 | input index:16 |. The epoch
+/// lets a later run() discard completions a previous (aborted) run left in
+/// the queue.
+std::uint64_t make_tag(std::uint64_t epoch, TaskId t, std::size_t input_index) {
+  return ((epoch & 0xFFFFull) << 48) | (static_cast<std::uint64_t>(t) << 16) |
+         (input_index & 0xFFFFull);
+}
+
+void emit_reorder(int node, const StageDecision& d) {
+  // A reorder decision: the data-aware policy jumped past the task static
+  // order would have run. These instants are the Fig. 5(b) "back and
+  // forth" moments, visible right on the node's timeline.
+  obs::Event ev;
+  ev.phase = obs::Phase::Instant;
+  ev.cat = obs::intern("sched");
+  ev.name = obs::intern("reorder");
+  ev.pid = node;
+  ev.ts_ns = obs::TraceClock::now_ns();
+  ev.nargs = 2;
+  ev.arg_name[0] = obs::intern("picked");
+  ev.arg_val[0] = d.task;
+  ev.arg_name[1] = obs::intern("over");
+  ev.arg_val[1] = d.over;
+  obs::TraceSession::instance().emit(ev);
+}
+
 }  // namespace
+
+/// Handles a staged task carries while it is InputsPending: the slots its
+/// read completions fill, plus what the trace needs to know about the wait.
+struct Engine::Staged {
+  std::vector<storage::ReadHandle> inputs;
+  std::uint64_t missing_bytes = 0;      ///< at stage time
+  bool resident_at_stage = true;
+  std::uint64_t stage_ts_ns = 0;        ///< InputsPending span start
+};
 
 struct Engine::NodeState {
   int node = -1;
   std::mutex mutex;
   std::condition_variable cv;
-  std::vector<TaskId> ready;
-  /// Monotonic pick counter, for trace slots.
-  std::uint64_t picks = 0;
+  /// Bumped under `mutex` by every wake source (completion-queue notifier,
+  /// complete(), wake_all()) so waits never miss an edge.
+  std::uint64_t wake_seq = 0;
+  std::unordered_map<TaskId, Staged> staged;
+  obs::Histogram* m_wait = nullptr;     ///< sched.inputs_pending_us
+  obs::Counter* m_parked = nullptr;     ///< sched.tasks_parked
+  obs::Gauge* m_cq_depth = nullptr;     ///< sched.completion_queue_depth
+};
+
+/// ExecutorCore's view of this engine's storage residency.
+class Engine::Probe final : public ResidencyProbe {
+ public:
+  explicit Probe(storage::StorageCluster& cluster) : cluster_(&cluster) {}
+
+  std::uint64_t resident_input_bytes(int node, const Task& task) override {
+    std::uint64_t resident = 0;
+    auto& storage_node = cluster_->node(node);
+    for (const auto& in : task.inputs) {
+      if (storage_node.is_resident(in)) resident += in.length;
+    }
+    return resident;
+  }
+
+  bool inputs_resident(int node, const Task& task) override {
+    auto& storage_node = cluster_->node(node);
+    for (const auto& in : task.inputs) {
+      if (!storage_node.is_resident(in)) return false;
+    }
+    return true;
+  }
+
+ private:
+  storage::StorageCluster* cluster_;
 };
 
 Engine::Engine(storage::StorageCluster& cluster, EngineConfig config)
@@ -52,95 +119,137 @@ Engine::Engine(storage::StorageCluster& cluster, EngineConfig config)
     split_pools_.push_back(
         std::make_unique<ThreadPool>(static_cast<std::size_t>(config_.split_threads_per_node)));
   }
+  probe_ = std::make_unique<Probe>(cluster_);
 }
 
 Engine::~Engine() = default;
 
-std::uint64_t Engine::resident_input_bytes(int node, const Task& task) const {
-  std::uint64_t resident = 0;
-  auto& storage_node = cluster_.node(node);
-  for (const auto& in : task.inputs) {
-    if (storage_node.is_resident(in)) resident += in.length;
-  }
-  return resident;
+void Engine::record_error(std::exception_ptr e) {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = e;
 }
 
-TaskId Engine::pick_locked(NodeState& ns) {
-  if (ns.ready.empty()) return kInvalidTask;
-  const auto key_static = [this](TaskId t) {
-    const Task& task = graph_->task(t);
-    std::int64_t seq = task.seq;
-    if (config_.local_policy == LocalPolicy::BackAndForth && (task.group % 2) != 0) {
-      seq = -seq;
+void Engine::wake_all() {
+  for (auto& ns : node_states_) {
+    {
+      std::lock_guard lock(ns->mutex);
+      ++ns->wake_seq;
     }
-    return std::make_pair(task.group, seq);
-  };
+    ns->cv.notify_all();
+  }
+}
 
-  std::size_t best_idx = 0;
-  if (config_.local_policy == LocalPolicy::DataAware) {
-    // Highest resident byte count wins; ties by (group, seq).
-    std::uint64_t best_score = 0;
-    bool first = true;
-    for (std::size_t i = 0; i < ns.ready.size(); ++i) {
-      const TaskId t = ns.ready[i];
-      const std::uint64_t score = resident_input_bytes(ns.node, graph_->task(t));
-      if (first || score > best_score ||
-          (score == best_score && key_static(t) < key_static(ns.ready[best_idx]))) {
-        best_idx = i;
-        best_score = score;
-        first = false;
+bool Engine::drain_completions(NodeState& ns) {
+  auto& queue = cluster_.node(ns.node).completions();
+  if (ns.m_cq_depth != nullptr) ns.m_cq_depth->set(static_cast<double>(queue.depth()));
+  const bool tracing = obs::trace_enabled();
+  storage::Completion c;
+  bool ok = true;
+  while (queue.pop(c)) {
+    if ((c.tag >> 48) != (run_epoch_ & 0xFFFFull)) continue;  // stale run's read
+    const auto t = static_cast<TaskId>((c.tag >> 16) & 0xFFFFFFFFull);
+    if (c.error) {
+      record_error(c.error);
+      abort_.store(true);
+      ok = false;
+      continue;
+    }
+    auto it = ns.staged.find(t);
+    if (it == ns.staged.end()) continue;
+    Staged& st = it->second;
+    const auto idx = static_cast<std::size_t>(c.tag & 0xFFFFull);
+    if (idx < st.inputs.size()) st.inputs[idx] = std::move(c.read);
+    if (core_->note_input(t) && !st.resident_at_stage) {
+      // The InputsPending wait is over: the span from stage to last input.
+      const std::uint64_t now = obs::TraceClock::now_ns();
+      const std::uint64_t dur = now - st.stage_ts_ns;
+      if (ns.m_wait != nullptr) ns.m_wait->add(static_cast<double>(dur) / 1e3);
+      if (tracing) {
+        obs::Event ev;
+        ev.phase = obs::Phase::Complete;
+        ev.cat = obs::intern("sched");
+        ev.name = obs::intern("inputs-pending");
+        ev.pid = ns.node;
+        // Parked tasks are not bound to a worker thread, so they render on
+        // their own lane band rather than a compute lane.
+        ev.tid = 200 + static_cast<std::int32_t>(t % 16);
+        ev.ts_ns = st.stage_ts_ns;
+        ev.dur_ns = dur;
+        ev.nargs = 2;
+        ev.arg_name[0] = obs::intern("group");
+        ev.arg_val[0] = static_cast<std::uint64_t>(graph_->task(t).group);
+        ev.arg_name[1] = obs::intern("missing_bytes");
+        ev.arg_val[1] = st.missing_bytes;
+        obs::TraceSession::instance().emit(ev);
       }
     }
-  } else {
-    for (std::size_t i = 1; i < ns.ready.size(); ++i) {
-      if (key_static(ns.ready[i]) < key_static(ns.ready[best_idx])) best_idx = i;
-    }
   }
-  const TaskId picked = ns.ready[best_idx];
-  if (obs::trace_enabled() && config_.local_policy == LocalPolicy::DataAware) {
-    // A reorder decision: the data-aware policy jumped past the task static
-    // order would have run. These instants are the Fig. 5(b) "back and
-    // forth" moments, visible right on the node's timeline.
-    std::size_t fifo_idx = 0;
-    for (std::size_t i = 1; i < ns.ready.size(); ++i) {
-      if (key_static(ns.ready[i]) < key_static(ns.ready[fifo_idx])) fifo_idx = i;
-    }
-    if (ns.ready[fifo_idx] != picked) {
-      obs::Event ev;
-      ev.phase = obs::Phase::Instant;
-      ev.cat = obs::intern("sched");
-      ev.name = obs::intern("reorder");
-      ev.pid = ns.node;
-      ev.ts_ns = obs::TraceClock::now_ns();
-      ev.nargs = 2;
-      ev.arg_name[0] = obs::intern("picked");
-      ev.arg_val[0] = picked;
-      ev.arg_name[1] = obs::intern("over");
-      ev.arg_val[1] = ns.ready[fifo_idx];
-      obs::TraceSession::instance().emit(ev);
-    }
-  }
-  ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
-  return picked;
+  return ok;
 }
 
-void Engine::prefetch_locked(NodeState& ns) {
-  if (config_.prefetch_window <= 0) return;
-  // Prefetch inputs of the first `prefetch_window` ready tasks in *policy*
-  // order: under the data-aware policy, tasks with resident blocks come
-  // first so their small missing inputs arrive before later prefetches
-  // evict the blocks they would reuse.
-  std::vector<TaskId> order = ns.ready;
-  std::sort(order.begin(), order.end(), [this, &ns](TaskId a, TaskId b) {
-    const Task& ta = graph_->task(a);
-    const Task& tb = graph_->task(b);
-    if (config_.local_policy == LocalPolicy::DataAware) {
-      const std::uint64_t ra = resident_input_bytes(ns.node, ta);
-      const std::uint64_t rb = resident_input_bytes(ns.node, tb);
-      if (ra != rb) return ra > rb;
+void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
+  auto& storage_node = cluster_.node(ns.node);
+  const bool tracing = obs::trace_enabled();
+  struct Plan {
+    TaskId task;
+    const Task* def;
+  };
+  std::vector<Plan> plans;
+  // Resident candidates stage freely (they never consume the window), then
+  // missing candidates up to window + idle demand slots.
+  for (const StageSelect select : {StageSelect::Resident, StageSelect::Missing}) {
+    while (true) {
+      const StageDecision d = core_->next_to_stage(ns.node, select);
+      if (d.task == kInvalidTask) break;
+      const Task& task = graph_->task(d.task);
+      if (tracing && d.reordered) emit_reorder(ns.node, d);
+      if (task.kind == "sync" || task.inputs.empty()) {
+        // Barriers move no data: straight to Runnable.
+        ns.staged.emplace(d.task, Staged{});
+        core_->stage(d.task, 0);
+        continue;
+      }
+      Staged st;
+      st.inputs.resize(task.inputs.size());
+      for (const auto& in : task.inputs) {
+        if (!storage_node.is_resident(in)) st.missing_bytes += in.length;
+      }
+      st.resident_at_stage = st.missing_bytes == 0;
+      st.stage_ts_ns = obs::TraceClock::now_ns();
+      if (!st.resident_at_stage && ns.m_parked != nullptr) ns.m_parked->add();
+      ns.staged.emplace(d.task, std::move(st));
+      // Every input read reports through the completion queue, so the task
+      // waits for one event per input (resident ones land immediately).
+      core_->stage(d.task, static_cast<int>(task.inputs.size()));
+      plans.push_back({d.task, &task});
     }
-    return std::make_pair(ta.group, ta.seq) < std::make_pair(tb.group, tb.seq);
-  });
+  }
+  if (plans.empty()) return;
+  // Already-resident inputs complete inline and the queue notifier re-takes
+  // ns.mutex, so the reads must be issued with it released.
+  lock.unlock();
+  for (const Plan& p : plans) {
+    for (std::size_t i = 0; i < p.def->inputs.size(); ++i) {
+      try {
+        storage_node.read_async(p.def->inputs[i], make_tag(run_epoch_, p.task, i));
+      } catch (...) {
+        record_error(std::current_exception());
+        abort_.store(true);
+        lock.lock();
+        return;
+      }
+    }
+  }
+  lock.lock();
+}
+
+void Engine::prefetch_blocking_locked(NodeState& ns) {
+  if (config_.prefetch_window <= 0) return;
+  // Blocking-io ablation: prefetch inputs of the first `prefetch_window`
+  // backlog tasks in policy order, as a bolt-on pass next to the blocking
+  // picks.
+  std::vector<TaskId> order;
+  core_->policy_order(ns.node, order);
   auto& storage_node = cluster_.node(ns.node);
   int window = config_.prefetch_window;
   for (const TaskId t : order) {
@@ -158,7 +267,7 @@ void Engine::prefetch_locked(NodeState& ns) {
   }
 }
 
-void Engine::execute(NodeState& ns, int slot, TaskId t) {
+void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
   const Task& task = graph_->task(t);
   auto& storage_node = cluster_.node(ns.node);
 
@@ -170,7 +279,12 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
   const bool tracing = obs::trace_enabled();
   bool inputs_resident = true;
   std::uint64_t missing_bytes = 0;
-  if ((config_.record_trace || tracing) && !control_only) {
+  if (staged != nullptr) {
+    // Residency as observed when the task was staged — by now its inputs
+    // are pinned, so probing again would always say "resident".
+    inputs_resident = staged->resident_at_stage;
+    missing_bytes = staged->missing_bytes;
+  } else if ((config_.record_trace || tracing) && !control_only) {
     for (const auto& in : task.inputs) {
       if (!storage_node.is_resident(in)) {
         inputs_resident = false;
@@ -190,16 +304,9 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
     ev.missing_bytes = missing_bytes;
     ev.start = clock_.seconds();
   }
-  // tid is the per-thread lane (unique process-wide), so spans emitted by
-  // one worker always nest cleanly; the compute slot travels as an arg.
-  std::optional<obs::Span> task_span;
-  if (tracing) {
-    task_span.emplace("task", task.name, ns.node);
-    task_span->arg("task", t).arg("missing_bytes", missing_bytes);
-  }
-
-  // Acquire output handles (immediate) then input handles (may block until
-  // producers seal / loads complete).
+  // Acquire output handles (immediate) then input handles. On the
+  // completion-driven path the inputs arrived with the storage completions
+  // that made the task Runnable; the blocking path waits on futures here.
   std::vector<storage::WriteHandle> outputs;
   outputs.reserve(task.outputs.size());
   for (const auto& out : task.outputs) {
@@ -207,20 +314,36 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
   }
   std::vector<storage::ReadHandle> inputs;
   if (!control_only) {
-    std::vector<std::future<storage::ReadHandle>> input_futures;
-    input_futures.reserve(task.inputs.size());
-    for (const auto& in : task.inputs) {
-      input_futures.push_back(storage_node.request_read(in));
+    if (staged != nullptr) {
+      inputs = std::move(staged->inputs);
+    } else {
+      std::vector<std::future<storage::ReadHandle>> input_futures;
+      input_futures.reserve(task.inputs.size());
+      for (const auto& in : task.inputs) {
+        input_futures.push_back(storage_node.request_read(in));
+      }
+      inputs.reserve(task.inputs.size());
+      // The wait for loads/producers gets its own sched span, so Gantt
+      // views show load time vs compute time directly.
+      std::optional<obs::Span> wait_span;
+      if (tracing && !inputs_resident) {
+        wait_span.emplace("sched", "wait-inputs", ns.node);
+        wait_span->arg("missing_bytes", missing_bytes);
+      }
+      for (auto& f : input_futures) inputs.push_back(f.get());
     }
-    inputs.reserve(task.inputs.size());
-    // The wait for loads/producers renders as a nested span under the task,
-    // so Fig. 5-style Gantt views show load time vs compute time directly.
-    std::optional<obs::Span> wait_span;
-    if (tracing && !inputs_resident) {
-      wait_span.emplace("sched", "wait-inputs", ns.node);
-      wait_span->arg("missing_bytes", missing_bytes);
-    }
-    for (auto& f : input_futures) inputs.push_back(f.get());
+  }
+
+  // The task span opens only once the inputs are in hand: it measures
+  // compute, not the time a blocking worker spends stalled on a load —
+  // otherwise the blocking ablation's I/O waits would masquerade as
+  // compute in the overlap accounting. tid is the per-thread lane
+  // (unique process-wide), so spans emitted by one worker always nest
+  // cleanly; the compute slot travels as an arg.
+  std::optional<obs::Span> task_span;
+  if (tracing) {
+    task_span.emplace("task", task.name, ns.node);
+    task_span->arg("task", t).arg("missing_bytes", missing_bytes);
   }
 
   if (task.work) {
@@ -241,51 +364,99 @@ void Engine::execute(NodeState& ns, int slot, TaskId t) {
 }
 
 void Engine::complete(TaskId t) {
-  // Publish all newly-ready successors per node in one batch: a worker
-  // that wakes up must see every choice this completion enables, or the
-  // data-aware policy would degenerate to arrival order.
-  std::map<int, std::vector<TaskId>> newly_ready;
-  for (TaskId s : graph_->successors(t)) {
-    if (deps_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      newly_ready[assignment_[s]].push_back(s);
-    }
+  std::vector<std::pair<int, TaskId>> newly_assigned;
+  core_->finish(t, newly_assigned);
+  if (core_->all_done()) {
+    wake_all();
+    return;
   }
-  for (auto& [node, tasks] : newly_ready) {
+  // Wake every node that gained work, plus the finished task's own node
+  // (a compute slot just freed up there).
+  std::set<int> to_wake;
+  to_wake.insert(assignment_[t]);
+  for (const auto& [node, task] : newly_assigned) to_wake.insert(node);
+  for (const int node : to_wake) {
     NodeState& ns = *node_states_[static_cast<std::size_t>(node)];
     {
       std::lock_guard lock(ns.mutex);
-      ns.ready.insert(ns.ready.end(), tasks.begin(), tasks.end());
-      prefetch_locked(ns);
+      ++ns.wake_seq;
+      if (config_.blocking_io) prefetch_blocking_locked(ns);
     }
     ns.cv.notify_all();
-  }
-  if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
-    for (auto& ns : node_states_) ns->cv.notify_all();
   }
 }
 
 void Engine::worker_loop(NodeState& ns, int slot) {
   while (true) {
     TaskId t = kInvalidTask;
+    Staged staged;
+    {
+      std::unique_lock lock(ns.mutex);
+      while (true) {
+        if (abort_.load()) return;
+        if (!drain_completions(ns)) {
+          lock.unlock();
+          wake_all();
+          return;
+        }
+        if (core_->all_done()) return;
+        stage_tasks(ns, lock);
+        if (abort_.load()) {
+          lock.unlock();
+          wake_all();
+          return;
+        }
+        // Reads issued while unlocked may have completed inline already.
+        if (!drain_completions(ns)) {
+          lock.unlock();
+          wake_all();
+          return;
+        }
+        t = core_->take_runnable(ns.node);
+        if (t != kInvalidTask) break;
+        const std::uint64_t seen = ns.wake_seq;
+        ns.cv.wait(lock, [&] {
+          return ns.wake_seq != seen || abort_.load() || core_->all_done();
+        });
+      }
+      auto it = ns.staged.find(t);
+      DOOC_CHECK(it != ns.staged.end(), "runnable task lost its staged inputs");
+      staged = std::move(it->second);
+      ns.staged.erase(it);
+    }
+    try {
+      execute(ns, slot, t, &staged);
+    } catch (...) {
+      record_error(std::current_exception());
+      abort_.store(true);
+      wake_all();
+      return;
+    }
+    complete(t);
+  }
+}
+
+void Engine::worker_loop_blocking(NodeState& ns, int slot) {
+  while (true) {
+    TaskId t = kInvalidTask;
     {
       std::unique_lock lock(ns.mutex);
       ns.cv.wait(lock, [&] {
-        return abort_.load() || completed_.load() == total_ || !ns.ready.empty();
+        return abort_.load() || core_->all_done() || core_->backlog(ns.node) > 0;
       });
-      if (abort_.load() || completed_.load() == total_) return;
-      t = pick_locked(ns);
-      if (t == kInvalidTask) continue;
-      prefetch_locked(ns);
+      if (abort_.load() || core_->all_done()) return;
+      const StageDecision d = core_->take_direct(ns.node);
+      if (d.task == kInvalidTask) continue;
+      if (obs::trace_enabled() && d.reordered) emit_reorder(ns.node, d);
+      prefetch_blocking_locked(ns);
+      t = d.task;
     }
     try {
-      execute(ns, slot, t);
+      execute(ns, slot, t, nullptr);
     } catch (...) {
-      {
-        std::lock_guard lock(error_mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
+      record_error(std::current_exception());
       abort_.store(true);
-      for (auto& other : node_states_) other->cv.notify_all();
+      wake_all();
       return;
     }
     complete(t);
@@ -295,11 +466,10 @@ void Engine::worker_loop(NodeState& ns, int slot) {
 Report Engine::run(TaskGraph& graph) {
   DOOC_REQUIRE(graph.built(), "run() needs a built task graph");
   graph_ = &graph;
-  total_ = graph.size();
-  completed_.store(0);
   abort_.store(false);
   first_error_ = nullptr;
   trace_.clear();
+  ++run_epoch_;
 
   const storage::StorageStats stats_before = cluster_.total_stats();
   const std::uint64_t cross_before =
@@ -309,27 +479,43 @@ Report Engine::run(TaskGraph& graph) {
   CatalogLocator locator(&cluster_.catalog());
   assignment_ = global.assign(graph, locator);
 
-  deps_ = std::vector<std::atomic<int>>(graph.size());
-  for (TaskId t = 0; t < graph.size(); ++t) {
-    deps_[t].store(static_cast<int>(graph.predecessors(t).size()), std::memory_order_relaxed);
-  }
+  CoreConfig core_config;
+  core_config.policy = config_.local_policy;
+  core_config.prefetch_window = config_.prefetch_window;
+  // Completion-driven mode: an idle compute slot may always demand-stage
+  // something even with the window exhausted, else the node deadlocks idle.
+  core_config.demand_slots = config_.blocking_io ? 0 : config_.compute_slots_per_node;
+  core_ = std::make_unique<ExecutorCore>(graph, assignment_, cluster_.num_nodes(), core_config,
+                                         probe_.get());
 
+  auto& metrics = obs::Metrics::instance();
   node_states_.clear();
   for (int n = 0; n < cluster_.num_nodes(); ++n) {
     auto ns = std::make_unique<NodeState>();
     ns->node = n;
+    ns->m_wait = &metrics.histogram("sched.inputs_pending_us", n);
+    ns->m_parked = &metrics.counter("sched.tasks_parked", n);
+    ns->m_cq_depth = &metrics.gauge("sched.completion_queue_depth", n);
     node_states_.push_back(std::move(ns));
   }
-  // Seed ready sets with dependency-free tasks.
-  for (TaskId t = 0; t < graph.size(); ++t) {
-    if (deps_[t].load(std::memory_order_relaxed) == 0) {
-      NodeState& ns = *node_states_[static_cast<std::size_t>(assignment_[t])];
-      ns.ready.push_back(t);
+
+  if (config_.blocking_io) {
+    // Initial prefetch pass over the seeded backlog, as the old engine did.
+    for (auto& ns : node_states_) {
+      std::lock_guard lock(ns->mutex);
+      prefetch_blocking_locked(*ns);
     }
-  }
-  for (auto& ns : node_states_) {
-    std::lock_guard lock(ns->mutex);
-    prefetch_locked(*ns);
+  } else {
+    for (auto& ns : node_states_) {
+      NodeState* state = ns.get();
+      cluster_.node(state->node).completions().open([state] {
+        {
+          std::lock_guard lock(state->mutex);
+          ++state->wake_seq;
+        }
+        state->cv.notify_all();
+      });
+    }
   }
 
   clock_.restart();
@@ -338,19 +524,39 @@ Report Engine::run(TaskGraph& graph) {
   for (auto& ns : node_states_) {
     NodeState* state = ns.get();
     for (int slot = 0; slot < config_.compute_slots_per_node; ++slot) {
-      workers.emplace_back([this, state, slot] { worker_loop(*state, slot); });
+      workers.emplace_back([this, state, slot] {
+        if (config_.blocking_io) {
+          worker_loop_blocking(*state, slot);
+        } else {
+          worker_loop(*state, slot);
+        }
+      });
     }
   }
   for (auto& w : workers) w.join();
 
+  // Close the queues before tearing down per-run state: completions of
+  // still-in-flight reads (an aborted run's stragglers) drop their payloads
+  // at the queue boundary instead of touching freed engine state.
+  if (!config_.blocking_io) {
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      cluster_.node(n).completions().close();
+    }
+  }
+
   Report report;
   report.makespan = clock_.seconds();
   graph_ = nullptr;
+  const bool all_done = core_->all_done();
+  // Destroying NodeStates releases read pins a staged-but-never-run task
+  // still holds (abort path).
+  node_states_.clear();
+  core_.reset();
 
   if (first_error_) std::rethrow_exception(first_error_);
-  DOOC_CHECK(completed_.load() == total_, "engine finished without completing all tasks");
+  DOOC_CHECK(all_done, "engine finished without completing all tasks");
 
-  report.tasks_executed = total_;
+  report.tasks_executed = graph.size();
   for (TaskId t = 0; t < graph.size(); ++t) report.total_flops += graph.task(t).est_flops;
   report.assignment = assignment_;
   report.trace = std::move(trace_);

@@ -2,22 +2,31 @@
 // schedulers + compute workers, over the distributed storage layer.
 //
 // Each virtual node runs `compute_slots_per_node` compute filters (worker
-// threads). Its local scheduler keeps the node's ready tasks, prefers those
-// whose input intervals are already memory-resident (LocalPolicy), and
-// keeps the storage busy by issuing prefetch requests for the next tasks in
-// line — this is how "the local scheduler makes sure that there are a given
-// number of ready tasks whose data are in memory" (paper §III-C) and how
-// loads overlap with compute.
+// threads) around the shared ExecutorCore state machine. Workers never
+// block on storage reads: a picked task's inputs are requested with
+// read_async and the task parks in InputsPending while the worker takes
+// the next Runnable task; storage completion events (the node's
+// CompletionQueue) transition parked tasks to Runnable. This is how "the
+// local scheduler makes sure that there are a given number of ready tasks
+// whose data are in memory" (paper §III-C) and how loads overlap with
+// compute — the prefetch window is simply how many tasks may park with
+// loads in flight.
+//
+// EngineConfig::blocking_io retains the pre-completion-driven behaviour
+// (workers block on future::get(), prefetch as a bolt-on pass) as the
+// --blocking-io ablation baseline.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "sched/executor_core.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/policy.hpp"
 #include "sched/task.hpp"
@@ -62,6 +71,10 @@ struct EngineConfig {
   LocalPolicy local_policy = LocalPolicy::DataAware;
   GlobalPolicy global_policy = GlobalPolicy::Affinity;
   bool record_trace = true;
+  /// Ablation baseline: workers pick a task and block on future::get() for
+  /// its inputs (the pre-completion-driven engine). Default is the
+  /// completion-driven path where compute workers never block on I/O.
+  bool blocking_io = false;
 };
 
 struct TraceEvent {
@@ -105,27 +118,39 @@ class Engine {
 
  private:
   struct NodeState;
+  class Probe;
+  struct Staged;
 
   void worker_loop(NodeState& ns, int slot);
-  /// Pick the best ready task per policy; kInvalidTask if none. Lock held.
-  TaskId pick_locked(NodeState& ns);
-  /// Issue prefetches for the next `prefetch_window` tasks. Lock held.
-  void prefetch_locked(NodeState& ns);
-  void execute(NodeState& ns, int slot, TaskId t);
+  void worker_loop_blocking(NodeState& ns, int slot);
+  /// Drain the node's storage completion queue into the core; returns false
+  /// when a completion carried an error (run must abort). ns.mutex held.
+  bool drain_completions(NodeState& ns);
+  /// Stage policy-picked tasks (resident first, then missing up to the
+  /// window) and issue their async reads. ns.mutex held via `lock`; the
+  /// reads themselves are issued with it released.
+  void stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock);
+  /// Issue prefetches for the next `prefetch_window` tasks (blocking-io
+  /// compatibility pass). ns.mutex held.
+  void prefetch_blocking_locked(NodeState& ns);
+  void execute(NodeState& ns, int slot, TaskId t, Staged* staged);
   void complete(TaskId t);
-  [[nodiscard]] std::uint64_t resident_input_bytes(int node, const Task& task) const;
+  void record_error(std::exception_ptr e);
+  /// Bump every node's wake counter and notify (abort / all-done fanout).
+  /// Must be called with no ns.mutex held.
+  void wake_all();
 
   storage::StorageCluster& cluster_;
   EngineConfig config_;
   std::vector<std::unique_ptr<ThreadPool>> split_pools_;
+  std::unique_ptr<Probe> probe_;
 
   // Per-run state (valid during run()).
   TaskGraph* graph_ = nullptr;
   std::vector<int> assignment_;
-  std::vector<std::atomic<int>> deps_;
+  std::unique_ptr<ExecutorCore> core_;
   std::vector<std::unique_ptr<NodeState>> node_states_;
-  std::atomic<std::size_t> completed_{0};
-  std::size_t total_ = 0;
+  std::uint64_t run_epoch_ = 0;  ///< tags completions; stale runs are dropped
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

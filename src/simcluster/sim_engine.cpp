@@ -42,7 +42,6 @@ void emit_virtual(std::string_view cat, std::string_view name, int pid, int tid,
 
 struct SimEngine::NodeState {
   int node = -1;
-  std::vector<TaskId> ready;
   /// Concurrently running tasks (up to SimResources::compute_slots).
   std::vector<std::pair<TaskId, double>> running;  // (task, end time)
   // Memory accounting.
@@ -77,7 +76,7 @@ double SimEngine::task_duration(const Task& task) const {
   return task.est_flops / res_.compute_rate + res_.task_overhead;
 }
 
-bool SimEngine::inputs_resident(const Task& task, int node) const {
+bool SimEngine::inputs_resident(int node, const Task& task) {
   if (task.kind == "sync") return true;  // control-only
   for (const auto& in : task.inputs) {
     if (in.length <= kControlBytes) continue;
@@ -87,7 +86,7 @@ bool SimEngine::inputs_resident(const Task& task, int node) const {
   return true;
 }
 
-std::uint64_t SimEngine::resident_input_bytes(const Task& task, int node) const {
+std::uint64_t SimEngine::resident_input_bytes(int node, const Task& task) {
   std::uint64_t bytes = 0;
   for (const auto& in : task.inputs) {
     const auto it = arrays_.find(in.array);
@@ -183,40 +182,27 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
 }
 
 void SimEngine::schedule_node(NodeState& ns) {
-  // 1. Start compute while slots are free and fully-resident ready tasks
-  //    exist (a node's compute filters run concurrently on its cores).
-  while (static_cast<int>(ns.running.size()) < res_.compute_slots && !ns.ready.empty()) {
-    // Order candidates by policy (mirrors Engine::pick_locked).
-    auto static_key = [&](TaskId t) {
-      const Task& task = graph_->task(t);
-      std::int64_t seq = task.seq;
-      if (policy_ == sched::LocalPolicy::BackAndForth && (task.group % 2) != 0) seq = -seq;
-      return std::make_pair(task.group, seq);
-    };
-    std::size_t best = ns.ready.size();
-    std::uint64_t best_score = 0;
-    for (std::size_t i = 0; i < ns.ready.size(); ++i) {
-      const TaskId t = ns.ready[i];
-      if (!inputs_resident(graph_->task(t), ns.node)) continue;
-      if (best == ns.ready.size()) {
-        best = i;
-        best_score = resident_input_bytes(graph_->task(t), ns.node);
-        continue;
-      }
-      bool better;
-      if (policy_ == sched::LocalPolicy::DataAware) {
-        const std::uint64_t score = resident_input_bytes(graph_->task(t), ns.node);
-        better = score > best_score ||
-                 (score == best_score && static_key(t) < static_key(ns.ready[best]));
-        if (better) best_score = score;
-      } else {
-        better = static_key(t) < static_key(ns.ready[best]);
-      }
-      if (better) best = i;
-    }
-    if (best == ns.ready.size()) break;  // nothing resident-ready
-    const TaskId t = ns.ready[best];
-    ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(best));
+  using sched::StageDecision;
+  using sched::StageSelect;
+
+  // 1. Let the core re-probe residency: staged tasks whose flows landed
+  //    become Runnable; runnable tasks whose data was evicted fall back.
+  core_->refresh(ns.node);
+
+  // 2. Stage fully-resident candidates — they never consume the prefetch
+  //    window and become Runnable immediately.
+  while (true) {
+    const StageDecision d = core_->next_to_stage(ns.node, StageSelect::Resident);
+    if (d.task == sched::kInvalidTask) break;
+    core_->stage(d.task, 0);
+  }
+
+  // 3. Start compute while slots are free (a node's compute filters run
+  //    concurrently on its cores). Inputs pin for the task's duration —
+  //    before step 4's fetches can trigger evictions.
+  while (static_cast<int>(ns.running.size()) < res_.compute_slots) {
+    const TaskId t = core_->take_runnable(ns.node);
+    if (t == sched::kInvalidTask) break;
     const double dur = task_duration(graph_->task(t));
     ns.running.emplace_back(t, now_ + dur);
     if (obs::trace_enabled()) {
@@ -224,7 +210,6 @@ void SimEngine::schedule_node(NodeState& ns) {
       emit_virtual("task", graph_->task(t).name, ns.node,
                    static_cast<int>(ns.running.size()) - 1, now_, dur, "task", t);
     }
-    // Pin inputs for the duration.
     for (const auto& in : graph_->task(t).inputs) {
       if (in.length <= kControlBytes) continue;
       ++ns.pins[in.array];
@@ -232,33 +217,20 @@ void SimEngine::schedule_node(NodeState& ns) {
     }
   }
 
-  // 2. Keep the I/O pipeline full: prefetch inputs of the next ready tasks
-  //    in *policy* order — under the data-aware policy a task whose big
-  //    input is already resident and only misses a small vector part must
-  //    be completed first, or its resident block gets evicted by the
-  //    prefetches of later tasks.
-  std::vector<TaskId> order = ns.ready;
-  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-    const Task& ta = graph_->task(a);
-    const Task& tb = graph_->task(b);
-    if (policy_ == sched::LocalPolicy::DataAware) {
-      const std::uint64_t ra = resident_input_bytes(ta, ns.node);
-      const std::uint64_t rb = resident_input_bytes(tb, ns.node);
-      if (ra != rb) return ra > rb;
-    }
-    return std::make_pair(ta.group, ta.seq) < std::make_pair(tb.group, tb.seq);
-  });
-  // Issue fetches for the first `prefetch_window` tasks that are actually
-  // missing data; tasks already satisfied from resident blocks don't use
-  // up the window.
-  int window = res_.prefetch_window;
-  for (const TaskId t : order) {
-    if (window <= 0) break;
-    const Task& task = graph_->task(t);
-    if (task.kind == "sync") continue;
-    if (inputs_resident(task, ns.node)) continue;
-    for (const auto& in : task.inputs) ensure_fetch(ns, in.array);
-    --window;
+  // 4. Keep the I/O pipeline full: stage tasks with missing data up to the
+  //    core's prefetch window and issue their fetches. The input count is
+  //    symbolic (the DES promotes by re-probing, not by counting arrival
+  //    events).
+  while (true) {
+    const StageDecision d = core_->next_to_stage(ns.node, StageSelect::Missing);
+    if (d.task == sched::kInvalidTask) break;
+    core_->stage(d.task, 1);
+    for (const auto& in : graph_->task(d.task).inputs) ensure_fetch(ns, in.array);
+  }
+  // Re-issue fetches for staged tasks whose admission was deferred on
+  // memory pressure (ensure_fetch is a no-op for flows already running).
+  for (const TaskId t : core_->pending_tasks(ns.node)) {
+    for (const auto& in : graph_->task(t).inputs) ensure_fetch(ns, in.array);
   }
 }
 
@@ -294,13 +266,9 @@ void SimEngine::finish_task(NodeState& ns, TaskId t) {
     make_resident(ns.node, out.array);
   }
   metrics_.total_flops += task.est_flops;
-  ++completed_;
 
-  for (TaskId s : graph_->successors(t)) {
-    if (--deps_[s] == 0) {
-      nodes_[static_cast<std::size_t>(assignment_[s])]->ready.push_back(s);
-    }
-  }
+  std::vector<std::pair<int, TaskId>> newly_assigned;
+  core_->finish(t, newly_assigned);  // dependents enter the core's queues
 }
 
 SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy policy) {
@@ -308,7 +276,6 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   policy_ = policy;
   graph_ = &graph;
   now_ = 0;
-  completed_ = 0;
   metrics_ = SimMetrics{};
   metrics_.nodes = num_nodes_;
   metrics_.cores_per_node = res_.cores_per_node;
@@ -363,25 +330,27 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   VirtualLocator locator(&meta_);
   assignment_ = global.assign(graph, locator);
 
-  deps_.assign(graph.size(), 0);
-  for (TaskId t = 0; t < graph.size(); ++t) {
-    deps_[t] = static_cast<int>(graph.predecessors(t).size());
-  }
+  // The shared execution state machine (dependency counting, per-node
+  // queues, policy order, prefetch window) — same core as sched::Engine.
+  sched::CoreConfig core_config;
+  core_config.policy = policy;
+  core_config.prefetch_window = res_.prefetch_window;
+  core_config.demand_slots = 0;  // the DES never demand-stages past the window
+  core_ = std::make_unique<sched::ExecutorCore>(graph, assignment_, num_nodes_, core_config,
+                                                static_cast<sched::ResidencyProbe*>(this));
+
   nodes_.clear();
   for (int n = 0; n < num_nodes_; ++n) {
     auto ns = std::make_unique<NodeState>();
     ns->node = n;
     nodes_.push_back(std::move(ns));
   }
-  for (TaskId t = 0; t < graph.size(); ++t) {
-    if (deps_[t] == 0) nodes_[static_cast<std::size_t>(assignment_[t])]->ready.push_back(t);
-  }
 
   // Main event loop.
   const std::size_t total = graph.size();
   std::size_t guard = 0;
   const std::size_t guard_limit = 100 * total + 100000;
-  while (completed_ < total) {
+  while (core_->completed() < total) {
     DOOC_CHECK(++guard < guard_limit, "simulation event-loop guard tripped");
     for (auto& ns : nodes_) schedule_node(*ns);
 
@@ -394,7 +363,10 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
       // graph is stuck.
       bool progress_possible = false;
       for (const auto& ns : nodes_) {
-        if (!ns->running.empty() || !ns->ready.empty()) progress_possible = true;
+        if (!ns->running.empty() || core_->backlog(ns->node) > 0 ||
+            core_->pending(ns->node) > 0 || core_->runnable(ns->node) > 0) {
+          progress_possible = true;
+        }
       }
       DOOC_CHECK(progress_possible, "simulated execution deadlocked");
       // A node has ready tasks but can neither run nor fetch — this only
@@ -440,6 +412,7 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   }
 
   metrics_.makespan = now_;
+  core_.reset();  // holds a pointer into `graph`
   graph_ = nullptr;
   return metrics_;
 }

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
+#include "sched/executor_core.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/policy.hpp"
 #include "sched/task.hpp"
@@ -80,7 +82,14 @@ struct SimMetrics {
   }
 };
 
-class SimEngine {
+// The DES shares the sched::ExecutorCore state machine with the real
+// engine: staging decisions, policy ordering and the prefetch window come
+// from the core; the simulator only charges virtual costs and reports
+// residency through the ResidencyProbe interface. Where the real engine
+// counts storage completions (note_input), the simulator re-probes after
+// each virtual-time step (refresh) — flow completions have no per-input
+// identity.
+class SimEngine : private sched::ResidencyProbe {
  public:
   SimEngine(int num_nodes, SimResources resources,
             std::map<std::string, solver::VirtualArray> arrays);
@@ -107,10 +116,12 @@ class SimEngine {
     std::set<int> fetching_on;
   };
 
+  // ResidencyProbe (called by the core while picking/scoring candidates).
+  std::uint64_t resident_input_bytes(int node, const sched::Task& task) override;
+  bool inputs_resident(int node, const sched::Task& task) override;
+
   [[nodiscard]] double task_duration(const sched::Task& task) const;
   void schedule_node(NodeState& ns);
-  bool inputs_resident(const sched::Task& task, int node) const;
-  std::uint64_t resident_input_bytes(const sched::Task& task, int node) const;
   void ensure_fetch(NodeState& ns, const std::string& array);
   void make_resident(int node, const std::string& array);
   void evict_for(NodeState& ns, std::uint64_t incoming);
@@ -125,7 +136,7 @@ class SimEngine {
   // Per-run state.
   const sched::TaskGraph* graph_ = nullptr;
   std::vector<int> assignment_;
-  std::vector<int> deps_;
+  std::unique_ptr<sched::ExecutorCore> core_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::map<std::string, ArrayState> arrays_;
   FlowNetwork net_;
@@ -133,7 +144,6 @@ class SimEngine {
   std::map<FlowId, double> flow_start_;  // virtual start time, for trace export
   std::set<FlowId> gpfs_flows_;
   double now_ = 0;
-  std::size_t completed_ = 0;
   SimMetrics metrics_;
   std::vector<ResourceId> gpfs_node_link_;
   ResourceId gpfs_aggregate_ = 0;

@@ -1,0 +1,95 @@
+// Per-node completion queue: the channel through which finished
+// asynchronous storage operations reach the execution backend.
+//
+// Producers are fetcher / I/O threads (and the request path itself for
+// already-resident data); the consumer is whoever registered the notifier —
+// one engine run at a time. Making I/O *completion* the scheduling signal
+// is what turns the execution core from poll-and-block into event-driven
+// (paper §III-C: the local scheduler keeps ready tasks whose data are in
+// memory; here the storage tells it the moment that becomes true).
+//
+// Lifecycle contract (engine shutdown with requests still in flight):
+//  * the consumer calls open(notifier) before issuing async requests and
+//    close() once it stops consuming;
+//  * a push while the queue is closed is dropped on the spot — the
+//    payload's destructor runs immediately, releasing any pins — so
+//    producers may safely complete after the consumer has unwound;
+//  * the notifier runs after every successful push, under a dedicated
+//    notify lock that close() also takes: once close() returns, no
+//    notifier invocation is running or will ever run again.
+//
+// Lock ordering: the data lock is released before the notify lock is
+// taken, and a payload dropped by push()/close() may acquire the storage
+// node's mutex (handle release) under the data lock — so the data lock
+// orders *before* StorageNode::mutex_ and neither lock is ever taken with
+// StorageNode::mutex_ held.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace dooc::storage {
+
+template <typename T>
+class CompletionQueue {
+ public:
+  using Notifier = std::function<void()>;
+
+  /// Start accepting completions; `notifier` fires after each push.
+  void open(Notifier notifier) {
+    std::scoped_lock nl(notify_mutex_);
+    std::scoped_lock dl(mutex_);
+    open_ = true;
+    notifier_ = std::move(notifier);
+  }
+
+  /// Stop accepting completions and drop whatever is queued. After this
+  /// returns the notifier will never run again.
+  void close() {
+    {
+      std::scoped_lock nl(notify_mutex_);
+      notifier_ = nullptr;
+    }
+    std::deque<T> drop;  // destructs after the lock below is released
+    std::scoped_lock dl(mutex_);
+    open_ = false;
+    drop.swap(items_);
+  }
+
+  /// Deliver one completion (dropped immediately if the queue is closed).
+  void push(T item) {
+    {
+      std::scoped_lock dl(mutex_);
+      if (!open_) return;  // consumer gone: release the payload right here
+      items_.push_back(std::move(item));
+    }
+    std::scoped_lock nl(notify_mutex_);
+    if (notifier_) notifier_();
+  }
+
+  /// Take the oldest completion; false when the queue is empty.
+  bool pop(T& out) {
+    std::scoped_lock dl(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::scoped_lock dl(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::mutex notify_mutex_;
+  std::deque<T> items_;
+  bool open_ = false;
+  Notifier notifier_;
+};
+
+}  // namespace dooc::storage

@@ -90,7 +90,11 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       m_cache_hit_(&obs::Metrics::instance().counter("storage.cache_hit", node_id)),
       m_cache_miss_(&obs::Metrics::instance().counter("storage.cache_miss", node_id)),
       m_evictions_(&obs::Metrics::instance().counter("storage.evictions", node_id)),
-      m_prefetches_(&obs::Metrics::instance().counter("storage.prefetch_issued", node_id)) {
+      m_prefetches_(&obs::Metrics::instance().counter("storage.prefetch_issued", node_id)),
+      m_fetch_started_(&obs::Metrics::instance().counter("storage.fetch_started", node_id)),
+      m_fetch_deduped_(&obs::Metrics::instance().counter("storage.fetch_deduped", node_id)),
+      m_fetch_deferred_(&obs::Metrics::instance().counter("storage.fetch_deferred", node_id)),
+      m_inflight_gauge_(&obs::Metrics::instance().gauge("storage.inflight_bytes", node_id)) {
   DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
   scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
   fs::create_directories(scratch_dir_);
@@ -233,6 +237,57 @@ std::uint64_t StorageNode::check_interval(const ArrayMeta& meta, const Interval&
 // ---- read path ---------------------------------------------------------------
 
 std::future<ReadHandle> StorageNode::request_read(const Interval& iv) {
+  detail::ReadWaiter w;
+  w.iv = iv;
+  w.has_promise = true;
+  auto future = w.promise.get_future();
+  enqueue_read(iv, std::move(w));
+  return future;
+}
+
+void StorageNode::read_async(const Interval& iv, ReadCallback cb) {
+  detail::ReadWaiter w;
+  w.iv = iv;
+  w.callback = std::move(cb);
+  enqueue_read(iv, std::move(w));
+}
+
+void StorageNode::read_async(const Interval& iv, std::uint64_t tag) {
+  detail::ReadWaiter w;
+  w.iv = iv;
+  w.tag = tag;
+  w.via_queue = true;
+  enqueue_read(iv, std::move(w));
+}
+
+void StorageNode::write_async(const Interval& iv, std::uint64_t tag) {
+  Completion c;
+  c.tag = tag;
+  try {
+    c.write = request_write(iv).get();  // write acquisition is synchronous
+  } catch (...) {
+    c.error = std::current_exception();
+  }
+  completions_.push(std::move(c));
+}
+
+void StorageNode::deliver(detail::ReadWaiter&& w, ReadHandle handle, std::exception_ptr error) {
+  if (w.via_queue) {
+    Completion c;
+    c.tag = w.tag;
+    c.read = std::move(handle);
+    c.error = error;
+    completions_.push(std::move(c));
+  } else if (w.callback) {
+    w.callback(std::move(handle), error);
+  } else if (error) {
+    w.promise.set_exception(error);
+  } else {
+    w.promise.set_value(std::move(handle));
+  }
+}
+
+void StorageNode::enqueue_read(const Interval& iv, detail::ReadWaiter waiter) {
   const ArrayMeta meta = resolve_meta(iv.array);
   const std::uint64_t b = check_interval(meta, iv);
   {
@@ -240,19 +295,17 @@ std::future<ReadHandle> StorageNode::request_read(const Interval& iv) {
     ++stats_.read_requests;
   }
 
-  std::promise<ReadHandle> promise;
-  auto future = promise.get_future();
-
   std::unique_lock lock(mutex_);
   const BlockKey key{iv.array, b};
   auto it = blocks_.find(key);
   if (it != blocks_.end() && it->second->state == BlockState::Resident && it->second->sealed) {
     m_cache_hit_->add();
-    Block& blk = *it->second;
-    ++blk.read_pins;
-    blk.lru_tick = ++tick_;
-    promise.set_value(ReadHandle(this, it->second, iv));
-    return future;
+    BlockPtr block = it->second;
+    ++block->read_pins;
+    block->lru_tick = ++tick_;
+    lock.unlock();
+    deliver(std::move(waiter), ReadHandle(this, std::move(block), iv), nullptr);
+    return;
   }
   m_cache_miss_->add();
   BlockPtr block;
@@ -266,12 +319,17 @@ std::future<ReadHandle> StorageNode::request_read(const Interval& iv) {
     block->state = BlockState::Loading;
     blocks_.emplace(key, block);
   }
-  block->read_waiters.emplace_back(iv, std::move(promise));
-  if (block->state == BlockState::Loading && !block->fetch_inflight) {
-    block->fetch_inflight = true;
-    schedule_fetch(meta, block);
+  block->read_waiters.push_back(std::move(waiter));
+  if (block->state == BlockState::Loading) {
+    if (!block->fetch_inflight) {
+      block->fetch_inflight = true;
+      schedule_fetch(meta, block, /*demand=*/true);
+    } else {
+      // Same block already being obtained: this request rides along.
+      m_fetch_deduped_->add();
+      if (block->fetch_deferred) promote_deferred_locked(block);
+    }
   }
-  return future;
 }
 
 void StorageNode::prefetch(const Interval& iv) {
@@ -288,9 +346,13 @@ void StorageNode::prefetch(const Interval& iv) {
   auto it = blocks_.find(key);
   if (it != blocks_.end()) {
     if (it->second->state == BlockState::Resident) it->second->lru_tick = ++tick_;
-    if (it->second->state == BlockState::Loading && !it->second->fetch_inflight) {
-      it->second->fetch_inflight = true;
-      schedule_fetch(meta, it->second);
+    if (it->second->state == BlockState::Loading) {
+      if (!it->second->fetch_inflight) {
+        it->second->fetch_inflight = true;
+        schedule_fetch(meta, it->second, /*demand=*/false);
+      } else {
+        m_fetch_deduped_->add();
+      }
     }
     return;
   }
@@ -301,12 +363,81 @@ void StorageNode::prefetch(const Interval& iv) {
   block->state = BlockState::Loading;
   block->fetch_inflight = true;
   blocks_.emplace(key, block);
-  schedule_fetch(meta, block);
+  schedule_fetch(meta, block, /*demand=*/false);
 }
 
-void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block) {
+void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand) {
+  const std::uint64_t budget = config_.max_inflight_load_bytes;
+  if (budget != 0 && inflight_load_bytes_ > 0 &&
+      inflight_load_bytes_ + block->bytes > budget) {
+    // Over budget: park the fetch. Demand reads jump the line so a worker
+    // waiting on this block is served before speculative prefetches. (When
+    // nothing is in flight even an oversized block proceeds — the budget
+    // bounds concurrency, it never starves a load outright.)
+    m_fetch_deferred_->add();
+    block->fetch_deferred = true;
+    if (demand) {
+      deferred_fetches_.emplace_front(meta, block);
+    } else {
+      deferred_fetches_.emplace_back(meta, block);
+    }
+    return;
+  }
+  start_fetch_locked(meta, block);
+}
+
+void StorageNode::start_fetch_locked(const ArrayMeta& meta, const BlockPtr& block) {
+  block->fetch_deferred = false;
+  block->budget_charged = true;
+  inflight_load_bytes_ += block->bytes;
+  m_fetch_started_->add();
+  m_inflight_gauge_->set(static_cast<double>(inflight_load_bytes_));
+  if (obs::trace_enabled()) {
+    obs::emit_counter(obs::intern("storage"), obs::intern("inflight_bytes"), id_,
+                      inflight_load_bytes_);
+  }
   // Runs on a fetcher thread; holds no locks while touching peers/disk.
   fetchers_.submit([this, meta, block] { fetch_job(meta, block); });
+}
+
+void StorageNode::release_budget_locked(const BlockPtr& block) {
+  if (!block->budget_charged) return;
+  block->budget_charged = false;
+  inflight_load_bytes_ -= block->bytes;
+  m_inflight_gauge_->set(static_cast<double>(inflight_load_bytes_));
+  if (obs::trace_enabled()) {
+    obs::emit_counter(obs::intern("storage"), obs::intern("inflight_bytes"), id_,
+                      inflight_load_bytes_);
+  }
+  drain_deferred_locked();
+}
+
+void StorageNode::drain_deferred_locked() {
+  const std::uint64_t budget = config_.max_inflight_load_bytes;
+  while (!deferred_fetches_.empty()) {
+    auto& [meta, block] = deferred_fetches_.front();
+    if (budget != 0 && inflight_load_bytes_ > 0 &&
+        inflight_load_bytes_ + block->bytes > budget) {
+      return;
+    }
+    const ArrayMeta m = std::move(meta);
+    const BlockPtr b = std::move(block);
+    deferred_fetches_.pop_front();
+    // Skip entries whose block was failed or deleted while parked.
+    if (b->state != BlockState::Loading || !b->fetch_inflight) continue;
+    start_fetch_locked(m, b);
+  }
+}
+
+void StorageNode::promote_deferred_locked(const BlockPtr& block) {
+  for (auto it = deferred_fetches_.begin(); it != deferred_fetches_.end(); ++it) {
+    if (it->second == block) {
+      auto entry = std::move(*it);
+      deferred_fetches_.erase(it);
+      deferred_fetches_.push_front(std::move(entry));
+      return;
+    }
+  }
 }
 
 void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
@@ -359,6 +490,13 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
     }
 
     // 3) Nobody has produced the block yet: wait for a holder to appear.
+    // Release the in-flight budget while parked — waiting on a producer can
+    // take arbitrarily long and must not starve actual loads (or deadlock
+    // two nodes waiting on each other's outputs).
+    {
+      std::lock_guard lock(mutex_);
+      release_budget_locked(block);
+    }
     if (++block->fetch_attempts > kMaxFetchAttempts) {
       throw IoError("giving up fetching block " + std::to_string(key.block) + " of '" +
                     key.array + "' after repeated attempts");
@@ -366,19 +504,29 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
     catalog_->shard_for(key.array).await_block(key, [this, meta, block](const BlockKey&) {
       // Fires on the sealing thread (outside every lock); bounce back onto
       // a fetcher thread to retry the whole decision.
-      fetchers_.submit([this, meta, block] { fetch_job(meta, block); });
+      fetchers_.submit([this, meta, block] { retry_fetch(meta, block); });
     });
   } catch (...) {
     fail_block(block, std::current_exception());
   }
 }
 
+void StorageNode::retry_fetch(const ArrayMeta& meta, const BlockPtr& block) {
+  // Re-admit against the budget: the charge was dropped when the fetch
+  // parked on the producer.
+  std::lock_guard lock(mutex_);
+  if (block->state != BlockState::Loading || !block->fetch_inflight) return;
+  if (block->fetch_deferred || block->budget_charged) return;  // already queued/flying
+  schedule_fetch(meta, block, /*demand=*/!block->read_waiters.empty());
+}
+
 void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
                                   bool durable) {
   DOOC_CHECK(data.size() == block->bytes, "payload size mismatch installing block");
-  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  std::vector<detail::ReadWaiter> waiters;
   {
     std::lock_guard lock(mutex_);
+    release_budget_locked(block);
     if (block->state != BlockState::Loading) return;  // raced with delete
     reclaim_locked(block->bytes);
     block->data = std::move(data);
@@ -393,24 +541,26 @@ void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, 
     block->read_waiters.clear();
     block->read_pins += static_cast<int>(waiters.size());
   }
-  for (auto& [iv, promise] : waiters) {
-    promise.set_value(ReadHandle(this, block, iv));
+  for (auto& w : waiters) {
+    const Interval iv = w.iv;
+    deliver(std::move(w), ReadHandle(this, block, iv), nullptr);
   }
   // Outside mutex_: note_holder may fire awaiter callbacks synchronously.
   catalog_->shard_for(meta.name).note_holder(block->key, id_);
 }
 
 void StorageNode::fail_block(const BlockPtr& block, std::exception_ptr error) {
-  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  std::vector<detail::ReadWaiter> waiters;
   {
     std::lock_guard lock(mutex_);
+    release_budget_locked(block);
     waiters = std::move(block->read_waiters);
     block->read_waiters.clear();
     block->fetch_inflight = false;
     blocks_.erase(block->key);
   }
-  for (auto& [iv, promise] : waiters) {
-    promise.set_exception(error);
+  for (auto& w : waiters) {
+    deliver(std::move(w), ReadHandle(), error);
   }
   DOOC_LOG(Warn, "storage[" + std::to_string(id_) + "]")
       << "fetch of block " << block->key.block << " of '" << block->key.array << "' failed";
@@ -501,7 +651,7 @@ std::future<WriteHandle> StorageNode::request_write(const Interval& iv) {
 
 void StorageNode::release_write(const ArrayName& array, const BlockPtr& block) {
   bool sealed_now = false;
-  std::vector<std::pair<Interval, std::promise<ReadHandle>>> waiters;
+  std::vector<detail::ReadWaiter> waiters;
   {
     std::lock_guard lock(mutex_);
     DOOC_CHECK(block->write_pins > 0, "write handle released twice");
@@ -516,8 +666,9 @@ void StorageNode::release_write(const ArrayName& array, const BlockPtr& block) {
       for (std::size_t i = 0; i < waiters.size(); ++i) ++block->read_pins;
     }
   }
-  for (auto& [iv, promise] : waiters) {
-    promise.set_value(ReadHandle(this, block, iv));
+  for (auto& w : waiters) {
+    const Interval iv = w.iv;
+    deliver(std::move(w), ReadHandle(this, block, iv), nullptr);
   }
   if (sealed_now) {
     // Outside mutex_: may fire awaiter callbacks synchronously.
@@ -673,6 +824,11 @@ StorageStats StorageNode::stats() {
 std::uint64_t StorageNode::resident_bytes() {
   std::lock_guard lock(mutex_);
   return resident_bytes_;
+}
+
+std::uint64_t StorageNode::inflight_load_bytes() {
+  std::lock_guard lock(mutex_);
+  return inflight_load_bytes_;
 }
 
 }  // namespace dooc::storage

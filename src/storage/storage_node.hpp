@@ -24,6 +24,8 @@
 // while touching peers or disk.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -38,6 +40,7 @@
 #include "dataflow/transport.hpp"
 #include "obs/metrics.hpp"
 #include "storage/catalog.hpp"
+#include "storage/completion_queue.hpp"
 #include "storage/io_worker.hpp"
 #include "storage/types.hpp"
 
@@ -46,32 +49,14 @@ namespace dooc::storage {
 class StorageNode;
 class ReadHandle;
 
+/// Callback flavour of the read API: fires exactly once with either a valid
+/// handle or the error that killed the load.
+using ReadCallback = std::function<void(ReadHandle, std::exception_ptr)>;
+
 namespace detail {
 
 enum class BlockState { Loading, Writing, Resident };
-
-/// In-memory control block for one array block held by this node.
-struct Block {
-  BlockKey key;
-  std::uint64_t bytes = 0;        ///< payload size (last block may be short)
-  std::uint64_t block_start = 0;  ///< absolute array offset of this block
-  DataBuffer data;                ///< allocated while Writing/Resident
-  BlockState state = BlockState::Loading;
-  bool sealed = false;
-  bool durable = false;  ///< on disk at the array's home node
-  int read_pins = 0;
-  int write_pins = 0;
-  std::uint64_t lru_tick = 0;  ///< last-use stamp for LRU
-  std::uint64_t load_seq = 0;  ///< arrival stamp for FIFO
-  /// Write intervals recorded for overlap (double-write) detection,
-  /// as (offset-within-block, length) pairs.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> written;
-  /// Readers waiting for the block to become resident and sealed.
-  std::vector<std::pair<Interval, std::promise<ReadHandle>>> read_waiters;
-  /// A fetch/load is already in flight (request de-duplication).
-  bool fetch_inflight = false;
-  int fetch_attempts = 0;
-};
+struct Block;
 
 }  // namespace detail
 
@@ -141,6 +126,62 @@ class WriteHandle {
   Interval interval_;
 };
 
+namespace detail {
+
+/// One registered reader of a not-yet-available block, remembering how the
+/// result should be delivered: a promise (future API), a callback, or a
+/// tagged push into the node's completion queue.
+struct ReadWaiter {
+  Interval iv;
+  std::promise<ReadHandle> promise;
+  bool has_promise = false;
+  ReadCallback callback;
+  std::uint64_t tag = 0;
+  bool via_queue = false;
+};
+
+/// In-memory control block for one array block held by this node.
+struct Block {
+  BlockKey key;
+  std::uint64_t bytes = 0;        ///< payload size (last block may be short)
+  std::uint64_t block_start = 0;  ///< absolute array offset of this block
+  DataBuffer data;                ///< allocated while Writing/Resident
+  BlockState state = BlockState::Loading;
+  bool sealed = false;
+  bool durable = false;  ///< on disk at the array's home node
+  int read_pins = 0;
+  int write_pins = 0;
+  std::uint64_t lru_tick = 0;  ///< last-use stamp for LRU
+  std::uint64_t load_seq = 0;  ///< arrival stamp for FIFO
+  /// Write intervals recorded for overlap (double-write) detection,
+  /// as (offset-within-block, length) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> written;
+  /// Readers waiting for the block to become resident and sealed.
+  std::vector<ReadWaiter> read_waiters;
+  /// A fetch/load is already in flight or queued (request de-duplication).
+  bool fetch_inflight = false;
+  /// The fetch is parked in the deferred queue (in-flight-bytes budget).
+  bool fetch_deferred = false;
+  /// This block's load is charged against the in-flight-bytes budget and
+  /// the charge must be released exactly once.
+  bool budget_charged = false;
+  int fetch_attempts = 0;
+};
+
+}  // namespace detail
+
+/// One finished asynchronous storage operation. Exactly one of
+/// `read`/`write` is valid unless `error` is set; `tag` is the caller's
+/// correlation value from read_async/write_async.
+struct Completion {
+  std::uint64_t tag = 0;
+  ReadHandle read;
+  WriteHandle write;
+  std::exception_ptr error;
+};
+
+using StorageCompletionQueue = CompletionQueue<Completion>;
+
 class StorageNode {
  public:
   StorageNode(int node_id, StorageConfig config, DistributedCatalog* catalog,
@@ -180,6 +221,21 @@ class StorageNode {
   std::future<ReadHandle> request_read(const Interval& iv);
   /// Request write access to an interval of a block never written before.
   std::future<WriteHandle> request_write(const Interval& iv);
+  /// Callback flavour of request_read: `cb(handle, error)` fires exactly
+  /// once — inline on the calling thread when the data is already resident
+  /// and sealed, otherwise on the thread that completes the load.
+  void read_async(const Interval& iv, ReadCallback cb);
+  /// Completion-queue flavour: the finished read lands in completions()
+  /// carrying the caller's `tag`. Never delivered inline — resident blocks
+  /// also round-trip through the queue, so the consumer drains one uniform
+  /// stream of completion events.
+  void read_async(const Interval& iv, std::uint64_t tag);
+  /// Queue flavour of request_write. Write acquisition is synchronous, so
+  /// the completion is in the queue before this returns.
+  void write_async(const Interval& iv, std::uint64_t tag);
+  /// The node's completion queue (see CompletionQueue for the open/close
+  /// shutdown contract).
+  [[nodiscard]] StorageCompletionQueue& completions() noexcept { return completions_; }
   /// Hint that the interval will be read soon; starts the load/fetch
   /// without pinning.
   void prefetch(const Interval& iv);
@@ -194,6 +250,8 @@ class StorageNode {
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] StorageStats stats();
   [[nodiscard]] std::uint64_t resident_bytes();
+  /// Bytes of block loads currently charged against max_inflight_load_bytes.
+  [[nodiscard]] std::uint64_t inflight_load_bytes();
 
   // ---- Peer RPCs (public so peer nodes can call them) --------------------
   /// Return a copy of a sealed block: from memory if resident, streamed
@@ -216,11 +274,29 @@ class StorageNode {
   /// Validate the interval against the metadata; returns the block index.
   static std::uint64_t check_interval(const ArrayMeta& meta, const Interval& iv);
 
-  /// Hand the block to a fetcher thread (mutex_ may be held; the job runs
-  /// later without it).
-  void schedule_fetch(const ArrayMeta& meta, const BlockPtr& block);
+  /// Common tail of request_read/read_async: deliver immediately when the
+  /// block is resident+sealed, otherwise register the waiter and make sure
+  /// a load/fetch is in flight (demand reads jump the deferred queue).
+  void enqueue_read(const Interval& iv, detail::ReadWaiter waiter);
+  /// Fire one waiter's delivery channel. Never call with mutex_ held.
+  void deliver(detail::ReadWaiter&& w, ReadHandle handle, std::exception_ptr error);
+
+  /// Admit the block's load against the in-flight-bytes budget: start it on
+  /// a fetcher thread or park it in the deferred queue. mutex_ held.
+  void schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand);
+  /// Charge the budget and hand the block to a fetcher thread. mutex_ held.
+  void start_fetch_locked(const ArrayMeta& meta, const BlockPtr& block);
+  /// Release the block's budget charge (if any) and start deferred fetches
+  /// that now fit. mutex_ held.
+  void release_budget_locked(const BlockPtr& block);
+  void drain_deferred_locked();
+  /// Move a deferred block to the head of the queue (a demand read arrived
+  /// for data that was only prefetch-priority so far). mutex_ held.
+  void promote_deferred_locked(const BlockPtr& block);
   /// Decide where to obtain the block from and do it. Fetcher thread only.
   void fetch_job(const ArrayMeta& meta, const BlockPtr& block);
+  /// Re-run the fetch decision after an awaited producer sealed the block.
+  void retry_fetch(const ArrayMeta& meta, const BlockPtr& block);
   /// Install freshly obtained payload, seal, wake waiters, register holder.
   void install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
                        bool durable);
@@ -258,6 +334,13 @@ class StorageNode {
   SplitMix64 rng_;
   std::uint64_t lookup_rng_state_;
 
+  /// In-flight-bytes budget accounting (guarded by mutex_): bytes of loads
+  /// currently charged, plus loads parked until the budget has room.
+  std::uint64_t inflight_load_bytes_ = 0;
+  std::deque<std::pair<ArrayMeta, BlockPtr>> deferred_fetches_;
+
+  StorageCompletionQueue completions_;
+
   std::mutex stats_mutex_;
   StorageStats stats_;
 
@@ -267,6 +350,10 @@ class StorageNode {
   obs::Counter* m_cache_miss_;
   obs::Counter* m_evictions_;
   obs::Counter* m_prefetches_;
+  obs::Counter* m_fetch_started_;
+  obs::Counter* m_fetch_deduped_;
+  obs::Counter* m_fetch_deferred_;
+  obs::Gauge* m_inflight_gauge_;
 };
 
 }  // namespace dooc::storage

@@ -66,6 +66,12 @@ struct StorageConfig {
   /// Optional read-bandwidth throttle (bytes/s, 0 = off). Lets local
   /// experiments emulate a slow device so I/O/compute overlap is visible.
   double throttle_read_bw = 0.0;
+  /// Bound on the bytes of block loads/fetches in flight at once (0 = no
+  /// bound). Demand reads and prefetches share this budget: excess fetches
+  /// queue up (demand ahead of prefetch) and start as in-flight loads land,
+  /// so an eager prefetch window cannot flood memory or the I/O filters.
+  /// A single block larger than the budget is still allowed to fly alone.
+  std::uint64_t max_inflight_load_bytes = 0;
   /// Seed for the random-walk lookup and the Random eviction policy.
   std::uint64_t seed = 0x5eed;
 };

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <future>
 
+#include "obs/metrics.hpp"
 #include "storage/storage_cluster.hpp"
 #include "test_util.hpp"
 
@@ -367,6 +369,78 @@ TEST(Storage, LastShortBlockHasCorrectSize) {
   EXPECT_EQ(r.bytes().size(), 50u);
   // Reading past the short block is rejected.
   EXPECT_THROW(node.request_read({"v", 100, 100}), InvalidArgument);
+}
+
+TEST(Storage, ConcurrentReadsOfOneBlockStartOneFetch) {
+  testutil::TempDir dir("dedup");
+  StorageConfig cfg = base_config(dir);
+  cfg.throttle_read_bw = 256.0 * 1024;  // ~0.25 s per 64 KB load
+  StorageCluster cluster(1, cfg);
+  auto& node = cluster.node(0);
+
+  const std::string path = dir.str() + "/node0/payload";
+  std::filesystem::create_directories(dir.str() + "/node0");
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<char> data(64 * 1024, 'd');
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  node.import_file("m", path, 64 * 1024);
+
+  auto& started = obs::Metrics::instance().counter("storage.fetch_started", 0);
+  auto& deduped = obs::Metrics::instance().counter("storage.fetch_deduped", 0);
+  const std::uint64_t started_before = started.get();
+  const std::uint64_t deduped_before = deduped.get();
+
+  // Four readers plus a prefetch pile onto the same Loading block while the
+  // throttled disk read is still in flight.
+  std::vector<std::future<ReadHandle>> reads;
+  for (int i = 0; i < 4; ++i) reads.push_back(node.request_read({"m", 0, 1024}));
+  node.prefetch({"m", 0, 1024});
+  for (auto& f : reads) {
+    auto r = f.get();
+    EXPECT_EQ(r.bytes()[0], std::byte{'d'});
+  }
+
+  EXPECT_EQ(started.get() - started_before, 1u)
+      << "concurrent reads of one block must share a single in-flight fetch";
+  EXPECT_GE(deduped.get() - deduped_before, 4u);
+  EXPECT_EQ(node.stats().disk_reads, 1u);
+  EXPECT_EQ(node.inflight_load_bytes(), 0u);
+}
+
+TEST(Storage, InflightBudgetDefersLoadsButAllComplete) {
+  testutil::TempDir dir("budget");
+  StorageConfig cfg = base_config(dir);
+  cfg.memory_budget = 8ull << 20;
+  cfg.max_inflight_load_bytes = 64 * 1024;  // one block in flight at a time
+  StorageCluster cluster(1, cfg);
+  auto& node = cluster.node(0);
+
+  const std::string path = dir.str() + "/node0/payload";
+  std::filesystem::create_directories(dir.str() + "/node0");
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<char> data(8 * 64 * 1024, 'b');
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  node.import_file("m", path, 64 * 1024);
+
+  auto& deferred = obs::Metrics::instance().counter("storage.fetch_deferred", 0);
+  const std::uint64_t deferred_before = deferred.get();
+
+  std::vector<std::future<ReadHandle>> reads;
+  for (int b = 0; b < 8; ++b) {
+    reads.push_back(node.request_read({"m", static_cast<std::uint64_t>(b) * 64 * 1024, 1024}));
+  }
+  for (auto& f : reads) {
+    auto r = f.get();
+    EXPECT_EQ(r.bytes()[0], std::byte{'b'});
+  }
+
+  EXPECT_GE(deferred.get() - deferred_before, 1u)
+      << "a one-block budget must defer at least one of eight demand loads";
+  EXPECT_EQ(node.inflight_load_bytes(), 0u);
 }
 
 }  // namespace

@@ -52,6 +52,25 @@ int main(int argc, char** argv) {
   std::printf("I/O overlapped with compute: %.3f ms (%.1f%% of I/O hidden)\n",
               s.io_overlapped_us * 1e-3, 100.0 * s.overlap_fraction());
 
+  const obs::WaitAnalysis waits = obs::analyze_waits(events);
+  if (waits.overall.count > 0) {
+    std::printf("\ninputs-pending waits (completion-driven engine):\n");
+    std::printf("%-12s %8s %12s %10s %10s %10s\n", "scope", "spans", "total (ms)", "mean (ms)",
+                "p99 (ms)", "max (ms)");
+    const auto row = [](const std::string& label, const obs::WaitStats& s) {
+      std::printf("%-12s %8llu %12.3f %10.3f %10.3f %10.3f\n", label.c_str(),
+                  static_cast<unsigned long long>(s.count), s.total_us * 1e-3, s.mean_us * 1e-3,
+                  s.p99_us * 1e-3, s.max_us * 1e-3);
+    };
+    row("overall", waits.overall);
+    for (const auto& [node, s] : waits.per_node) row("node " + std::to_string(node), s);
+    for (const auto& [group, s] : waits.per_group) {
+      row(group >= 0 ? "phase " + std::to_string(group) : "untagged", s);
+    }
+    std::printf("(%.1f%% of I/O hidden behind compute across these phases)\n",
+                100.0 * s.overlap_fraction());
+  }
+
   const auto top = obs::slowest(events, top_n, cat);
   if (!top.empty()) {
     std::printf("\ntop %zu slowest '%s' events:\n", top.size(), cat.c_str());
