@@ -1,19 +1,233 @@
-// Google-benchmark microbenchmarks of the hot primitives: the CSR SpMV
-// kernel (serial and split), the reduction, binary-CSR (de)serialization,
-// storage read/write round-trips, and the DES flow-network rate solver.
+// Micro-kernel bench: a format × partitioner sweep of the SpMV kernel
+// layer (CSR vs SELL-C-σ, equal-row vs nnz-balanced splits) followed by
+// the google-benchmark suite over the hot primitives.
+//
+// The sweep reports two timings per kernel:
+//  * wall     — one threaded multiply, as the engine runs it;
+//  * critical — each partition range timed serially, taking the maximum.
+// The critical path is what a perfectly scheduled pool would pay, so it
+// exposes load imbalance deterministically even on machines without
+// enough cores to show it in wall time. Results are persisted to
+// BENCH_kernels.json; the process exits non-zero if the balanced split
+// or SELL format loses against the acceptance thresholds.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <numeric>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "simcluster/flow_network.hpp"
 #include "spmv/generator.hpp"
 #include "spmv/kernels.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/sell.hpp"
 #include "storage/storage_cluster.hpp"
 
 namespace {
 
 using namespace dooc;
+
+// ---------------------------------------------------------------------------
+// Format × partitioner sweep
+// ---------------------------------------------------------------------------
+
+/// Rows reordered by descending population — the degree-sorted layout of
+/// real graph/CI matrices, where an equal-row split hands the first worker
+/// nearly all of the work.
+spmv::CsrMatrix sort_rows_by_length_desc(const spmv::CsrMatrix& m) {
+  std::vector<std::uint64_t> order(m.rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    return m.row_ptr[a + 1] - m.row_ptr[a] > m.row_ptr[b + 1] - m.row_ptr[b];
+  });
+  spmv::CsrMatrix out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.row_ptr.reserve(m.rows + 1);
+  out.row_ptr.push_back(0);
+  out.col_idx.reserve(m.nnz());
+  out.values.reserve(m.nnz());
+  for (std::uint64_t r : order) {
+    for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      out.col_idx.push_back(m.col_idx[k]);
+      out.values.push_back(m.values[k]);
+    }
+    out.row_ptr.push_back(out.col_idx.size());
+  }
+  return out;
+}
+
+struct SweepShape {
+  std::string name;
+  spmv::CsrMatrix matrix;
+};
+
+struct SweepResult {
+  std::string shape;
+  std::string kernel;
+  double wall_s = 0.0;
+  double critical_s = 0.0;
+  double imbalance = 1.0;
+};
+
+constexpr int kReps = 5;          ///< best-of-N to shed scheduler noise
+constexpr std::size_t kParts = 4; ///< partition count for the split kernels
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) best = std::min(best, bench::time_seconds(fn));
+  return best;
+}
+
+/// Max over ranges of the serial time of that range — the pool's critical
+/// path under perfect scheduling.
+template <typename RangeFn>
+double critical_path(const std::vector<spmv::RowRange>& ranges, RangeFn&& run_range) {
+  double cp = 0.0;
+  for (const auto& r : ranges) {
+    if (r.size() == 0) continue;
+    cp = std::max(cp, best_of([&] { run_range(r); }));
+  }
+  return cp;
+}
+
+std::vector<SweepResult> run_shape(const SweepShape& shape, ThreadPool& pool) {
+  const spmv::CsrMatrix& m = shape.matrix;
+  std::vector<std::byte> csr_bytes;
+  spmv::serialize_csr(m, csr_bytes);
+  const auto view = spmv::CsrView::from_bytes(csr_bytes);
+
+  const spmv::SellMatrix sell = spmv::build_sell(m, 8, 256);
+  std::vector<std::byte> sell_bytes;
+  spmv::serialize_sell(sell, sell_bytes);
+  const auto sell_view = spmv::SellView::from_bytes(sell_bytes);
+
+  std::vector<double> x(m.cols), y(m.rows);
+  SplitMix64 rng(0x5EED);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+
+  const auto equal = spmv::equal_row_ranges(m.rows, kParts);
+  const auto balanced = spmv::balanced_row_ranges(m.row_ptr, kParts);
+  const auto sell_chunks = spmv::balanced_row_ranges(sell_view.chunk_ptr(), kParts);
+
+  spmv::KernelConfig eq_cfg, bal_cfg;
+  eq_cfg.balance = spmv::BalanceMode::EqualRows;
+  eq_cfg.serial_nnz_threshold = 0;
+  bal_cfg.balance = spmv::BalanceMode::BalancedNnz;
+  bal_cfg.serial_nnz_threshold = 0;
+
+  std::vector<SweepResult> out;
+  auto add = [&](std::string kernel, double wall, double critical, double imbalance) {
+    out.push_back({shape.name, std::move(kernel), wall, critical, imbalance});
+  };
+
+  add("csr-serial", best_of([&] { view.multiply(x, y); }),
+      best_of([&] { view.multiply(x, y); }), 1.0);
+  add("csr-equal",
+      best_of([&] { spmv::multiply_parallel(view, x, y, pool, eq_cfg); }),
+      critical_path(equal, [&](const spmv::RowRange& r) { view.multiply_rows(x, y, r.begin, r.end); }),
+      spmv::partition_imbalance(m.row_ptr, equal));
+  add("csr-balanced",
+      best_of([&] { spmv::multiply_parallel(view, x, y, pool, bal_cfg); }),
+      critical_path(balanced,
+                    [&](const spmv::RowRange& r) { view.multiply_rows(x, y, r.begin, r.end); }),
+      spmv::partition_imbalance(m.row_ptr, balanced));
+  add("sell-serial", best_of([&] { sell_view.multiply(x, y); }),
+      best_of([&] { sell_view.multiply(x, y); }), 1.0);
+  add("sell-balanced",
+      best_of([&] { spmv::multiply_parallel(sell_view, x, y, pool, bal_cfg); }),
+      critical_path(sell_chunks,
+                    [&](const spmv::RowRange& r) {
+                      sell_view.multiply_chunks(x, y, r.begin, r.end);
+                    }),
+      spmv::partition_imbalance(sell_view.chunk_ptr(), sell_chunks));
+  return out;
+}
+
+double find_critical(const std::vector<SweepResult>& rs, const std::string& shape,
+                     const std::string& kernel) {
+  for (const auto& r : rs) {
+    if (r.shape == shape && r.kernel == kernel) return r.critical_s;
+  }
+  std::fprintf(stderr, "sweep result missing: %s/%s\n", shape.c_str(), kernel.c_str());
+  std::exit(2);
+}
+
+int run_kernel_sweep() {
+  bench::section("SpMV kernel sweep: format x partitioner");
+
+  std::vector<SweepShape> shapes;
+  const std::uint64_t n = 16384;
+  const double d = spmv::choose_gap_parameter(n, n, n * 64);
+  shapes.push_back({"uniform", spmv::generate_uniform_gap(n, n, d, 0xA11CE)});
+  shapes.push_back(
+      {"skewed", sort_rows_by_length_desc(spmv::generate_power_law(n, n, 64.0, 1.5, 0xCAFE))});
+
+  ThreadPool pool(kParts);
+  bench::Table table({"shape", "kernel", "nnz", "wall ms", "critical ms", "GFLOP/s(crit)",
+                      "imbalance"});
+  bench::JsonReport report;
+  report.meta("bench", "kernels");
+  report.meta("parts", static_cast<std::uint64_t>(kParts));
+  report.meta("reps", static_cast<std::uint64_t>(kReps));
+
+  std::vector<SweepResult> all;
+  for (const auto& shape : shapes) {
+    const double flops = 2.0 * static_cast<double>(shape.matrix.nnz());
+    for (const auto& r : run_shape(shape, pool)) {
+      table.add_row({r.shape, r.kernel, std::to_string(shape.matrix.nnz()),
+                     bench::fmt("%.3f", r.wall_s * 1e3), bench::fmt("%.3f", r.critical_s * 1e3),
+                     bench::fmt("%.2f", flops / r.critical_s * 1e-9),
+                     bench::fmt("%.2f", r.imbalance)});
+      report.add_record()
+          .field("shape", r.shape)
+          .field("kernel", r.kernel)
+          .field("rows", shape.matrix.rows)
+          .field("nnz", shape.matrix.nnz())
+          .field("wall_s", r.wall_s)
+          .field("critical_s", r.critical_s)
+          .field("gflops_critical", flops / r.critical_s * 1e-9)
+          .field("imbalance", r.imbalance);
+      all.push_back(r);
+    }
+  }
+  table.print();
+
+  const std::string artifact = "BENCH_kernels.json";
+  if (!report.write(artifact)) {
+    std::fprintf(stderr, "cannot write %s\n", artifact.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", artifact.c_str());
+
+  // Acceptance: the balanced split must never lose to the serial kernel on
+  // the critical path, and must win clearly where the equal split starves.
+  int failures = 0;
+  auto expect = [&](bool ok, const char* what, double lhs, double rhs) {
+    std::printf("%-58s %8.3f vs %8.3f ms  [%s]\n", what, lhs * 1e3, rhs * 1e3,
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+  const double cs_u = find_critical(all, "uniform", "csr-serial");
+  const double cb_u = find_critical(all, "uniform", "csr-balanced");
+  const double ce_s = find_critical(all, "skewed", "csr-equal");
+  const double cb_s = find_critical(all, "skewed", "csr-balanced");
+  const double ss_u = find_critical(all, "uniform", "sell-serial");
+  const double sb_s = find_critical(all, "skewed", "sell-balanced");
+  expect(cb_u <= cs_u, "uniform: balanced critical path <= serial", cb_u, cs_u);
+  expect(cb_s * 1.15 <= ce_s, "skewed: balanced beats equal split by >= 1.15x", cb_s, ce_s);
+  expect(ss_u <= cs_u * 1.25, "uniform: SELL serial within 1.25x of CSR serial", ss_u, cs_u);
+  expect(sb_s * 1.15 <= ce_s, "skewed: SELL balanced beats CSR equal by >= 1.15x", sb_s, ce_s);
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite
+// ---------------------------------------------------------------------------
 
 const spmv::CsrMatrix& test_matrix() {
   static const spmv::CsrMatrix m = spmv::generate_uniform_gap(8192, 8192, 4.0, 0xbe9c);
@@ -24,6 +238,15 @@ const std::vector<std::byte>& test_matrix_bytes() {
   static const std::vector<std::byte> bytes = [] {
     std::vector<std::byte> b;
     spmv::serialize_csr(test_matrix(), b);
+    return b;
+  }();
+  return bytes;
+}
+
+const std::vector<std::byte>& test_matrix_sell_bytes() {
+  static const std::vector<std::byte> bytes = [] {
+    std::vector<std::byte> b;
+    spmv::serialize_sell(spmv::build_sell(test_matrix(), 8, 256), b);
     return b;
   }();
   return bytes;
@@ -45,6 +268,23 @@ void BM_SpmvSplit(benchmark::State& state) {
   const auto view = spmv::CsrView::from_bytes(test_matrix_bytes());
   std::vector<double> x(view.cols(), 1.0), y(view.rows());
   ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  spmv::KernelConfig cfg;
+  cfg.balance = state.range(1) ? spmv::BalanceMode::BalancedNnz : spmv::BalanceMode::EqualRows;
+  for (auto _ : state) {
+    spmv::multiply_parallel(view, x, y, pool, cfg);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.nnz()));
+}
+BENCHMARK(BM_SpmvSplit)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->ArgNames({"threads", "balanced"});
+
+void BM_SpmvSell(benchmark::State& state) {
+  const auto view = spmv::SellView::from_bytes(test_matrix_sell_bytes());
+  std::vector<double> x(view.cols(), 1.0), y(view.rows());
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     spmv::multiply_parallel(view, x, y, pool);
     benchmark::DoNotOptimize(y.data());
@@ -52,7 +292,20 @@ void BM_SpmvSplit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(view.nnz()));
 }
-BENCHMARK(BM_SpmvSplit)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_SpmvSell)->Arg(1)->Arg(4)->ArgName("threads");
+
+void BM_Blas1Dot(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  std::vector<double> a(n, 1.25), b(n, 0.75);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const double d = state.range(0) > 1 ? spmv::dot(a, b, pool) : spmv::dot(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK(BM_Blas1Dot)->Arg(1)->Arg(4)->ArgName("threads");
 
 void BM_SumVectors(benchmark::State& state) {
   const std::size_t n = 1 << 16;
@@ -89,6 +342,17 @@ void BM_CsrSerialize(benchmark::State& state) {
                           static_cast<std::int64_t>(m.serialized_bytes()));
 }
 BENCHMARK(BM_CsrSerialize);
+
+void BM_SellBuild(benchmark::State& state) {
+  const auto& m = test_matrix();
+  for (auto _ : state) {
+    auto sell = spmv::build_sell(m, 8, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(sell.padded_nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SellBuild)->Arg(1)->Arg(256)->ArgName("sigma");
 
 void BM_StorageWriteSealRead(benchmark::State& state) {
   const std::string dir = (std::filesystem::temp_directory_path() /
@@ -139,4 +403,11 @@ BENCHMARK(BM_FlowNetworkRecompute)->Arg(8)->Arg(72);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int sweep_status = run_kernel_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return sweep_status;
+}

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/clock.hpp"
@@ -74,5 +75,87 @@ inline std::string fmt(const char* format, double value) {
 inline void section(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
 }
+
+/// Minimal JSON emitter for the machine-readable BENCH_*.json artifacts:
+/// a top-level object of scalar metadata plus one "records" array of flat
+/// objects. Values are stored pre-encoded, so insertion order is kept and
+/// no JSON library is needed.
+class JsonReport {
+ public:
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, quote(v));
+      return *this;
+    }
+    Record& field(const std::string& key, const char* v) {
+      return field(key, std::string(v));
+    }
+    Record& field(const std::string& key, double v) {
+      fields_.emplace_back(key, num(v));
+      return *this;
+    }
+    Record& field(const std::string& key, std::uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  void meta(const std::string& key, const std::string& v) { meta_.emplace_back(key, quote(v)); }
+  void meta(const std::string& key, double v) { meta_.emplace_back(key, num(v)); }
+  void meta(const std::string& key, std::uint64_t v) {
+    meta_.emplace_back(key, std::to_string(v));
+  }
+
+  Record& add_record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Write `{meta..., "records": [...]}` to `path`; returns false on I/O error.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (!out) return false;
+    std::fprintf(out, "{\n");
+    for (const auto& [k, v] : meta_) std::fprintf(out, "  %s: %s,\n", quote(k).c_str(), v.c_str());
+    std::fprintf(out, "  \"records\": [\n");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(out, "    {");
+      const auto& fields = records_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        std::fprintf(out, "%s%s: %s", f ? ", " : "", quote(fields[f].first).c_str(),
+                     fields[f].second.c_str());
+      }
+      std::fprintf(out, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    const bool ok = std::ferror(out) == 0;
+    std::fclose(out);
+    return ok;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Record> records_;
+};
 
 }  // namespace dooc::bench

@@ -94,11 +94,10 @@ void IteratedSpmv::build() {
         t.group = i;
         t.seq = static_cast<std::int64_t>(v) * k + u;
         t.preferred_node = matrix_.owner_of(u, v);
-        t.work = [](TaskContext& ctx) {
-          const auto a = spmv::CsrView::from_bytes(ctx.input(0).bytes());
+        t.work = [kcfg = config_.kernels](TaskContext& ctx) {
           const auto x = ctx.input(1).as<double>();
           auto y = ctx.output(0).as<double>();
-          spmv::multiply_parallel(a, x, y, ctx.pool());
+          spmv::multiply_any(ctx.input(0).bytes(), x, y, ctx.pool(), kcfg);
         };
         graph_.add(std::move(t));
       }
@@ -162,7 +161,7 @@ void IteratedSpmv::build() {
             std::vector<std::span<const double>> parts;
             parts.reserve(n_in);
             for (std::size_t p = 0; p < n_in; ++p) parts.push_back(ctx.input(p).as<double>());
-            spmv::sum_vectors(parts, out);
+            spmv::sum_vectors(parts, out, ctx.pool());
           };
           graph_.add(std::move(t));
           reduce_inputs.push_back(Interval{agg, 0, out_bytes});
@@ -197,7 +196,7 @@ void IteratedSpmv::build() {
         std::vector<std::span<const double>> parts;
         parts.reserve(data_inputs);
         for (std::size_t p = 0; p < data_inputs; ++p) parts.push_back(ctx.input(p).as<double>());
-        spmv::sum_vectors(parts, out);
+        spmv::sum_vectors(parts, out, ctx.pool());
       };
       graph_.add(std::move(t));
     }

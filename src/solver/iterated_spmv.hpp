@@ -45,6 +45,11 @@ struct IteratedSpmvConfig {
   /// the input is iteration 0). Lets solvers chain single-step graphs:
   /// Lanczos step j runs {first_iteration = j+1, iterations = 1}.
   int first_iteration = 1;
+  /// Kernel-layer knobs for the task bodies: block format dispatch,
+  /// partitioning mode and the serial cutover. Blocks are sniffed per
+  /// magic word, so a graph built with this config runs against either
+  /// CSR or SELL-C-σ deployments.
+  spmv::KernelConfig kernels;
 };
 
 class IteratedSpmv {

@@ -53,13 +53,8 @@ LanczosResult Lanczos::run() {
   {
     SplitMix64 rng(options_.seed);
     std::vector<double> v0(n);
-    double norm_sq = 0.0;
-    for (auto& x : v0) {
-      x = rng.next_double() - 0.5;
-      norm_sq += x * x;
-    }
-    const double inv = 1.0 / std::sqrt(norm_sq);
-    for (auto& x : v0) x *= inv;
+    for (auto& x : v0) x = rng.next_double() - 0.5;
+    spmv::scale(v0, 1.0 / spmv::norm2(v0));
     vecs_.create_from(base, 0, v0);
     if (options_.flush_basis) vecs_.flush(base, 0);
   }
@@ -86,9 +81,7 @@ LanczosResult Lanczos::run() {
       }
     }
 
-    double beta = 0.0;
-    for (double x : w) beta += x * x;
-    beta = std::sqrt(beta);
+    const double beta = spmv::norm2(w);
 
     // Ritz values and residual bounds from the projected tridiagonal T_j.
     const TridiagEigen eig = tridiag_eigen(result.alpha, result.beta);
@@ -109,8 +102,7 @@ LanczosResult Lanczos::run() {
     }
 
     // v_{j+1} = w / beta.
-    const double inv = 1.0 / beta;
-    for (auto& x : w) x *= inv;
+    spmv::scale(w, 1.0 / beta);
     result.beta.push_back(beta);
     vecs_.create_from(base, j + 1, w);
     if (options_.flush_basis) vecs_.flush(base, j + 1);
@@ -156,7 +148,7 @@ CgResult conjugate_gradient(storage::StorageCluster& cluster, const spmv::Deploy
   std::vector<double> r = b;  // r = b - A*0
   std::vector<double> p = r;
   double rho = spmv::dot(r, r);
-  const double b_norm = std::sqrt(spmv::dot(b, b));
+  const double b_norm = spmv::norm2(b);
   if (b_norm == 0.0) {
     result.converged = true;
     return result;
@@ -204,8 +196,8 @@ PowerIterationResult power_iteration(storage::StorageCluster& cluster,
   SplitMix64 rng(seed);
   std::vector<double> v(n);
   for (auto& x : v) x = rng.next_double() - 0.5;
-  double norm = std::sqrt(spmv::dot(v, v));
-  for (auto& x : v) x /= norm;
+  double norm = spmv::norm2(v);
+  spmv::scale(v, 1.0 / norm);
 
   PowerIterationResult result;
   double lambda_prev = 0.0;
@@ -217,9 +209,10 @@ PowerIterationResult power_iteration(storage::StorageCluster& cluster,
     vecs.remove(base, j + 1);
 
     const double lambda = spmv::dot(v, av);  // Rayleigh quotient
-    norm = std::sqrt(spmv::dot(av, av));
+    norm = spmv::norm2(av);
     DOOC_REQUIRE(norm > 0, "matrix annihilated the iterate");
-    for (std::uint64_t i = 0; i < n; ++i) v[i] = av[i] / norm;
+    v = std::move(av);
+    spmv::scale(v, 1.0 / norm);
     result.iterations = j + 1;
     result.eigenvalue = lambda;
     if (j > 0 && std::abs(lambda - lambda_prev) < tolerance * std::abs(lambda)) {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "spmv/generator.hpp"
+#include "spmv/sell.hpp"
 
 namespace dooc::spmv {
 
@@ -54,12 +55,17 @@ BlockOwner square_tile_owner(int num_nodes, int k) {
 
 namespace {
 
-void write_and_import(storage::StorageCluster& cluster, int node, const std::string& name,
-                      const CsrMatrix& block) {
+std::uint64_t write_and_import(storage::StorageCluster& cluster, int node,
+                               const std::string& name, const CsrMatrix& block,
+                               const KernelConfig& kernels) {
   auto& store = cluster.node(node);
   const std::string path = store.scratch_dir() + "/" + name;
   std::vector<std::byte> bytes;
-  serialize_csr(block, bytes);
+  if (kernels.format == MatrixFormat::Sell) {
+    serialize_sell(build_sell(block, kernels.sell_chunk, kernels.sell_sigma), bytes);
+  } else {
+    serialize_csr(block, bytes);
+  }
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("cannot create sub-matrix file '" + path + "'");
@@ -69,12 +75,14 @@ void write_and_import(storage::StorageCluster& cluster, int node, const std::str
   }
   // One block per sub-matrix: the whole file is the transfer unit.
   store.import_file(name, path, bytes.size());
+  return bytes.size();
 }
 
 }  // namespace
 
 DeployedMatrix deploy_matrix(storage::StorageCluster& cluster, const CsrMatrix& global, int k,
-                             const BlockOwner& owner, const std::string& prefix) {
+                             const BlockOwner& owner, const std::string& prefix,
+                             const KernelConfig& kernels) {
   DOOC_REQUIRE(global.rows == global.cols, "block deployment expects a square matrix");
   const BlockGrid grid(global.rows, k);
   return deploy_generated(
@@ -83,16 +91,17 @@ DeployedMatrix deploy_matrix(storage::StorageCluster& cluster, const CsrMatrix& 
         return extract_block(global, grid.part_begin(u), grid.part_size(u), grid.part_begin(v),
                              grid.part_size(v));
       },
-      prefix);
+      prefix, kernels);
 }
 
 DeployedMatrix deploy_generated(storage::StorageCluster& cluster, const BlockGrid& grid,
                                 const BlockOwner& owner,
                                 const std::function<CsrMatrix(int u, int v)>& generate,
-                                const std::string& prefix) {
+                                const std::string& prefix, const KernelConfig& kernels) {
   DeployedMatrix deployed;
   deployed.grid = grid;
   deployed.prefix = prefix;
+  deployed.format = kernels.format;
   const auto cells = static_cast<std::size_t>(grid.k()) * grid.k();
   deployed.owner.resize(cells);
   deployed.nnz.resize(cells);
@@ -107,8 +116,8 @@ DeployedMatrix deploy_generated(storage::StorageCluster& cluster, const BlockGri
       DOOC_REQUIRE(block.rows == grid.part_size(u) && block.cols == grid.part_size(v),
                    "generated block has wrong dimensions");
       deployed.nnz[cell] = block.nnz();
-      deployed.bytes[cell] = block.serialized_bytes();
-      write_and_import(cluster, node, BlockGrid::matrix_name(u, v, prefix), block);
+      deployed.bytes[cell] =
+          write_and_import(cluster, node, BlockGrid::matrix_name(u, v, prefix), block, kernels);
     }
   }
   return deployed;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "spmv/wire.hpp"
+
 namespace dooc::spmv {
 
 namespace {
@@ -74,9 +76,20 @@ CsrView CsrView::from_bytes(std::span<const std::byte> bytes) {
   v.rows_ = header[2];
   v.cols_ = header[3];
   v.nnz_ = header[4];
-  const std::uint64_t need =
-      kHeaderWords * 8 + (v.rows_ + 1) * 8 + padded_col_bytes(v.nnz_) + v.nnz_ * 8;
-  if (bytes.size() < need) throw IoError("binary CRS: truncated payload");
+  // Overflow-checked byte count: an adversarial header (rows near 2^64,
+  // huge nnz) must not wrap `need` back under bytes.size() and turn the
+  // truncation check into an out-of-bounds read.
+  std::uint64_t row_entries;
+  wire::ByteCount need;
+  if (!wire::checked_add(v.rows_, 1, row_entries)) {
+    throw IoError("binary CRS: header overflows size computation");
+  }
+  need.add(kHeaderWords * 8)
+      .add_u64_array(row_entries)
+      .add_padded_u32_array(v.nnz_)
+      .add_u64_array(v.nnz_);
+  if (!need.ok()) throw IoError("binary CRS: header overflows size computation");
+  if (bytes.size() < need.total()) throw IoError("binary CRS: truncated payload");
   const std::byte* p = bytes.data() + kHeaderWords * 8;
   v.row_ptr_ = {reinterpret_cast<const std::uint64_t*>(p), v.rows_ + 1};
   p += (v.rows_ + 1) * 8;

@@ -81,6 +81,43 @@ CsrMatrix generate_laplacian_1d(std::uint64_t n) {
   return m;
 }
 
+CsrMatrix generate_power_law(std::uint64_t rows, std::uint64_t cols, double mean_row_nnz,
+                             double alpha, std::uint64_t seed) {
+  DOOC_REQUIRE(alpha > 1.0, "power-law shape must exceed 1 for a finite mean");
+  DOOC_REQUIRE(mean_row_nnz >= 1.0, "mean row population must be at least 1");
+  // Pareto with scale x_m has mean alpha * x_m / (alpha - 1); invert for x_m.
+  const double x_m = mean_row_nnz * (alpha - 1.0) / alpha;
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  SplitMix64 rng(seed);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const double u = 1.0 - rng.next_double();  // (0, 1]
+    const double raw = x_m * std::pow(u, -1.0 / alpha);
+    const auto target =
+        std::min<std::uint64_t>(cols, static_cast<std::uint64_t>(std::llround(raw)));
+    if (target > 0) {
+      // March columns with gaps averaging cols/target, as the uniform-gap
+      // generator does; the walk may stop early at the right edge.
+      const double gap = static_cast<double>(cols) / static_cast<double>(target);
+      const std::uint64_t hi =
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(2.0 * gap - 1.0));
+      std::uint64_t c = rng.next_below(hi);
+      std::uint64_t placed = 0;
+      while (c < cols && placed < target) {
+        m.col_idx.push_back(static_cast<std::uint32_t>(c));
+        m.values.push_back(rng.next_double() * 2.0 - 1.0);
+        c += rng.next_in(1, hi);
+        ++placed;
+      }
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
 CsrMatrix extract_block(const CsrMatrix& m, std::uint64_t row0, std::uint64_t rows,
                         std::uint64_t col0, std::uint64_t cols) {
   DOOC_REQUIRE(row0 + rows <= m.rows && col0 + cols <= m.cols, "block out of range");

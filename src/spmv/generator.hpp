@@ -39,6 +39,17 @@ namespace dooc::spmv {
 /// against.
 [[nodiscard]] CsrMatrix generate_laplacian_1d(std::uint64_t n);
 
+/// Skewed workload: per-row population drawn from a Pareto (power-law)
+/// distribution with shape `alpha` (> 1) scaled to a mean of
+/// `mean_row_nnz`, capped at `cols`. A few rows carry most of the
+/// non-zeros — the shape that starves an equal-row thread split and
+/// motivates nnz-balanced partitioning and SELL-C-σ. Deterministic in
+/// `seed`; column positions follow the same uniform-gap walk as
+/// generate_uniform_gap with a per-row gap parameter.
+[[nodiscard]] CsrMatrix generate_power_law(std::uint64_t rows, std::uint64_t cols,
+                                           double mean_row_nnz, double alpha,
+                                           std::uint64_t seed);
+
 /// Restrict a matrix to a sub-block [row0, row0+rows) × [col0, col0+cols)
 /// (column indices re-based). Used to cut a global matrix into the paper's
 /// K×K grid.

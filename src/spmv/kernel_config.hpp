@@ -1,0 +1,36 @@
+// Kernel-layer configuration shared by the SpMV kernels, the block
+// deployment path and the solver drivers: which on-disk/block format the
+// sub-matrices carry (binary CRS or SELL-C-σ), how row work is split
+// across a node's compute threads, and when a multiply is too small to be
+// worth splitting at all.
+#pragma once
+
+#include <cstdint>
+
+namespace dooc::spmv {
+
+enum class MatrixFormat : std::uint8_t {
+  Csr,   ///< binary CRS (the paper's on-disk sub-matrix format)
+  Sell,  ///< SELL-C-σ sliced ELLPACK (vectorization-friendly)
+};
+
+enum class BalanceMode : std::uint8_t {
+  EqualRows,    ///< contiguous equal-row chunks (the historical split)
+  BalancedNnz,  ///< prefix-sum split over row_ptr: ~equal non-zeros per chunk
+};
+
+struct KernelConfig {
+  MatrixFormat format = MatrixFormat::Csr;
+  /// SELL chunk height C (rows packed column-major per chunk).
+  std::uint32_t sell_chunk = 8;
+  /// SELL sorting window σ: rows are sorted by length only within windows
+  /// of σ rows, bounding how far the permutation displaces a row.
+  std::uint32_t sell_sigma = 128;
+  BalanceMode balance = BalanceMode::BalancedNnz;
+  /// Below this many non-zeros a multiply runs serial regardless of the
+  /// pool: the split overhead exceeds the work. Gates on nnz (work), not
+  /// rows — a short fat matrix still parallelizes.
+  std::uint64_t serial_nnz_threshold = 1u << 15;
+};
+
+}  // namespace dooc::spmv

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "spmv/block_grid.hpp"
 #include "spmv/csr.hpp"
 #include "spmv/generator.hpp"
 #include "spmv/kernels.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/sell.hpp"
 #include "test_util.hpp"
 
 namespace dooc::spmv {
@@ -247,6 +252,347 @@ TEST(BlockGrid, DeployAndGatherRoundTrip) {
   const auto gathered = gather_vector(cluster, deployed.grid, "x", 0);
   ASSERT_EQ(gathered.size(), 64u);
   for (std::size_t i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(gathered[i], static_cast<double>(i));
+}
+
+// ---------------------------------------------------------------------------
+// Row partitioning
+// ---------------------------------------------------------------------------
+
+void expect_covering(const std::vector<RowRange>& ranges, std::uint64_t rows) {
+  std::uint64_t next = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, next);
+    EXPECT_LE(r.begin, r.end);
+    next = r.end;
+  }
+  EXPECT_EQ(next, rows);
+}
+
+TEST(Partition, EqualRowRangesCoverAllRows) {
+  expect_covering(equal_row_ranges(103, 4), 103);
+  expect_covering(equal_row_ranges(3, 8), 3);  // more parts than rows
+  expect_covering(equal_row_ranges(0, 4), 0);
+  EXPECT_LE(equal_row_ranges(103, 4).size(), 4u);
+}
+
+TEST(Partition, BalancedRangesCoverAndBalanceSkew) {
+  // First 10 rows carry 100 nnz each, the remaining 90 carry none: the
+  // equal split serializes on part 0, the balanced split spreads the work.
+  std::vector<std::uint64_t> row_ptr(101, 1000);
+  for (std::uint64_t r = 0; r <= 10; ++r) row_ptr[r] = r * 100;
+  const auto equal = equal_row_ranges(100, 4);
+  const auto balanced = balanced_row_ranges(row_ptr, 4);
+  expect_covering(balanced, 100);
+  const double eq_imb = partition_imbalance(row_ptr, equal);
+  const double bal_imb = partition_imbalance(row_ptr, balanced);
+  EXPECT_NEAR(eq_imb, 4.0, 1e-12);   // all nnz in part 0
+  EXPECT_NEAR(bal_imb, 1.2, 0.21);   // rows are 100-nnz grains of a 250 target
+  EXPECT_LT(bal_imb, eq_imb);
+}
+
+TEST(Partition, FatRowGetsItsOwnChunk) {
+  // One row holds 1000 of 1004 nnz; the balanced split must isolate it.
+  std::vector<std::uint64_t> row_ptr{0, 1, 2, 1002, 1003, 1004};
+  const auto ranges = balanced_row_ranges(row_ptr, 4);
+  expect_covering(ranges, 5);
+  bool fat_alone = false;
+  for (const auto& r : ranges) {
+    if (r.begin <= 2 && 3 <= r.end) fat_alone = (r.size() == 1);
+  }
+  EXPECT_TRUE(fat_alone) << "row 2 should be a singleton chunk";
+}
+
+TEST(Partition, DegenerateInputs) {
+  const std::vector<std::uint64_t> empty_ptr{0};
+  expect_covering(balanced_row_ranges(empty_ptr, 4), 0);
+  EXPECT_DOUBLE_EQ(partition_imbalance(empty_ptr, balanced_row_ranges(empty_ptr, 4)), 1.0);
+  // All-empty rows: no nnz to balance, but coverage must hold.
+  const std::vector<std::uint64_t> zeros(9, 0);
+  expect_covering(balanced_row_ranges(zeros, 3), 8);
+}
+
+// ---------------------------------------------------------------------------
+// SELL-C-σ
+// ---------------------------------------------------------------------------
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> x(n);
+  SplitMix64 rng(seed);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  return x;
+}
+
+TEST(Sell, BuildMatchesCsrAcrossChunkAndSigma) {
+  const CsrMatrix m = generate_power_law(150, 130, 6.0, 1.6, 0xBEEF);
+  const auto x = random_vector(130, 1);
+  std::vector<double> y_ref(150);
+  m.multiply(x, y_ref);
+  for (std::uint32_t c : {1u, 4u, 8u}) {
+    for (std::uint32_t sigma : {1u, 16u, 150u}) {
+      const SellMatrix s = build_sell(m, c, sigma);
+      EXPECT_EQ(s.nnz, m.nnz());
+      EXPECT_GE(s.fill_ratio(), 1.0);
+      std::vector<double> y(150);
+      s.multiply(x, y);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_DOUBLE_EQ(y_ref[i], y[i]) << "C=" << c << " sigma=" << sigma << " row " << i;
+    }
+  }
+}
+
+TEST(Sell, SigmaSortingReducesPadding) {
+  // Skewed rows: global sorting groups like-length rows, shrinking chunks.
+  const CsrMatrix m = generate_power_law(512, 512, 8.0, 1.5, 0xD00C);
+  const SellMatrix unsorted = build_sell(m, 8, 1);
+  const SellMatrix sorted = build_sell(m, 8, 512);
+  EXPECT_LE(sorted.fill_ratio(), unsorted.fill_ratio());
+}
+
+TEST(Sell, SerializeRoundTrip) {
+  const CsrMatrix m = generate_uniform_gap(90, 75, 3.0, 0xF00D);
+  const SellMatrix s = build_sell(m, 8, 32);
+  std::vector<std::byte> bytes;
+  serialize_sell(s, bytes);
+  EXPECT_EQ(bytes.size(), s.serialized_bytes());
+
+  const SellView view = SellView::from_bytes(bytes);
+  EXPECT_EQ(view.rows(), s.rows);
+  EXPECT_EQ(view.cols(), s.cols);
+  EXPECT_EQ(view.nnz(), s.nnz);
+  EXPECT_EQ(view.chunk(), s.chunk);
+  EXPECT_EQ(view.sigma(), s.sigma);
+  const SellMatrix back = materialize(view);
+  EXPECT_EQ(back.chunk_ptr, s.chunk_ptr);
+  EXPECT_EQ(back.perm, s.perm);
+  EXPECT_EQ(back.col_idx, s.col_idx);
+  EXPECT_EQ(back.values, s.values);
+
+  const auto x = random_vector(75, 2);
+  std::vector<double> y1(90), y2(90);
+  s.multiply(x, y1);
+  view.multiply(x, y2);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(Sell, FromBytesRejectsMalformed) {
+  const CsrMatrix m = generate_laplacian_1d(20);
+  std::vector<std::byte> bytes;
+  serialize_sell(build_sell(m, 4, 8), bytes);
+
+  auto corrupt = bytes;
+  corrupt[0] = std::byte{0};
+  EXPECT_THROW(SellView::from_bytes(corrupt), IoError);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 9);
+  EXPECT_THROW(SellView::from_bytes(truncated), IoError);
+
+  EXPECT_THROW(SellView::from_bytes(std::span<const std::byte>{}), IoError);
+
+  // Adversarial header: padded_nnz near 2^64 must fail cleanly in the size
+  // check, not wrap around and read out of bounds.
+  std::uint64_t header[8] = {kSellMagic,
+                             0x0102030405060708ull,
+                             4,
+                             4,
+                             4,
+                             8,
+                             8,
+                             std::numeric_limits<std::uint64_t>::max() / 2};
+  std::vector<std::byte> evil(sizeof header);
+  std::memcpy(evil.data(), header, sizeof header);
+  EXPECT_THROW(SellView::from_bytes(evil), IoError);
+}
+
+TEST(Sell, SniffBlockFormatDispatches) {
+  const CsrMatrix m = generate_laplacian_1d(10);
+  std::vector<std::byte> csr_bytes, sell_bytes;
+  serialize_csr(m, csr_bytes);
+  serialize_sell(build_sell(m, 4, 4), sell_bytes);
+  EXPECT_EQ(sniff_block_format(csr_bytes), BlockFormat::Csr);
+  EXPECT_EQ(sniff_block_format(sell_bytes), BlockFormat::Sell);
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  EXPECT_THROW((void)sniff_block_format(junk), IoError);
+  EXPECT_THROW((void)sniff_block_format(std::span<const std::byte>{}), IoError);
+}
+
+TEST(Csr, FromBytesRejectsOverflowingHeader) {
+  // Headers whose implied byte count wraps 64-bit arithmetic used to pass
+  // the size check with a tiny `need`; they must throw IoError instead.
+  const std::uint64_t evil_sizes[][2] = {
+      {std::numeric_limits<std::uint64_t>::max(), 4},           // rows+1 wraps
+      {4, std::numeric_limits<std::uint64_t>::max() / 4},       // nnz*8 wraps
+      {std::numeric_limits<std::uint64_t>::max() / 8, 4},       // (rows+1)*8 wraps
+  };
+  for (const auto& [rows, nnz] : evil_sizes) {
+    std::uint64_t header[5] = {0x44435253'42494E31ull, 0x0102030405060708ull, rows, 4, nnz};
+    std::vector<std::byte> evil(sizeof header);
+    std::memcpy(evil.data(), header, sizeof header);
+    EXPECT_THROW(CsrView::from_bytes(evil), IoError) << "rows=" << rows << " nnz=" << nnz;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel property sweep: every parallel/format variant against serial CSR
+// ---------------------------------------------------------------------------
+
+/// Edge shapes the sweep always includes alongside the random matrices.
+std::vector<CsrMatrix> edge_matrices() {
+  std::vector<CsrMatrix> out;
+  // Empty 16x16 (rows exist, no entries).
+  CsrMatrix zero;
+  zero.rows = zero.cols = 16;
+  zero.row_ptr.assign(17, 0);
+  out.push_back(zero);
+  // Single dense row among empty ones.
+  CsrMatrix fat;
+  fat.rows = fat.cols = 32;
+  fat.row_ptr.assign(33, 0);
+  for (std::uint32_t c = 0; c < 32; ++c) {
+    fat.col_idx.push_back(c);
+    fat.values.push_back(1.0 / (1.0 + c));
+  }
+  for (std::uint64_t r = 8; r <= 32; ++r) fat.row_ptr[r] = 32;
+  out.push_back(fat);
+  // 1x1 with and without an entry.
+  CsrMatrix one;
+  one.rows = one.cols = 1;
+  one.row_ptr = {0, 1};
+  one.col_idx = {0};
+  one.values = {2.5};
+  out.push_back(one);
+  CsrMatrix one_empty;
+  one_empty.rows = one_empty.cols = 1;
+  one_empty.row_ptr = {0, 0};
+  out.push_back(one_empty);
+  return out;
+}
+
+TEST(KernelsParallel, PropertySweepMatchesSerialCsr) {
+  std::vector<CsrMatrix> cases = edge_matrices();
+  cases.push_back(generate_uniform_gap(257, 257, 2.5, 0x11));
+  cases.push_back(generate_power_law(300, 300, 8.0, 1.5, 0x22));
+  ThreadPool pool(4);
+  KernelConfig eager;  // force the parallel path even for tiny matrices
+  eager.serial_nnz_threshold = 0;
+
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const CsrMatrix& m = cases[ci];
+    m.validate();
+    const auto x = random_vector(m.cols, 0x1000 + ci);
+    std::vector<double> y_ref(m.rows);
+    m.multiply(x, y_ref);
+
+    std::vector<std::byte> csr_bytes;
+    serialize_csr(m, csr_bytes);
+    const CsrView view = CsrView::from_bytes(csr_bytes);
+
+    for (BalanceMode mode : {BalanceMode::EqualRows, BalanceMode::BalancedNnz}) {
+      KernelConfig cfg = eager;
+      cfg.balance = mode;
+      std::vector<double> y(m.rows, -1.0);
+      multiply_parallel(view, x, y, pool, cfg);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_DOUBLE_EQ(y_ref[i], y[i]) << "case " << ci << " mode "
+                                         << (mode == BalanceMode::EqualRows ? "equal" : "nnz");
+    }
+
+    std::vector<std::byte> sell_bytes;
+    serialize_sell(build_sell(m, 8, 64), sell_bytes);
+    const SellView sell = SellView::from_bytes(sell_bytes);
+    std::vector<double> y_sell(m.rows, -1.0);
+    multiply_parallel(sell, x, y_sell, pool, eager);
+    for (std::size_t i = 0; i < y_sell.size(); ++i)
+      EXPECT_DOUBLE_EQ(y_ref[i], y_sell[i]) << "SELL case " << ci;
+
+    // The byte-level dispatcher the task bodies use, on both formats.
+    for (const auto* bytes : {&csr_bytes, &sell_bytes}) {
+      std::vector<double> y_any(m.rows, -1.0);
+      multiply_any(*bytes, x, y_any, pool, eager);
+      for (std::size_t i = 0; i < y_any.size(); ++i)
+        EXPECT_DOUBLE_EQ(y_ref[i], y_any[i]) << "multiply_any case " << ci;
+    }
+  }
+}
+
+TEST(KernelsParallel, SymmetricHalfMatchesSerialReference) {
+  const CsrMatrix sym = symmetrize(generate_uniform_gap(200, 200, 3.0, 0x33));
+  const CsrMatrix lower = extract_lower_triangle(sym);
+  std::vector<std::byte> bytes;
+  serialize_csr(lower, bytes);
+  const CsrView view = CsrView::from_bytes(bytes);
+
+  const auto x = random_vector(200, 4);
+  std::vector<double> y_full(200), y_half(200), y_par(200);
+  sym.multiply(x, y_full);
+  multiply_symmetric_half(view, x, y_half);
+
+  ThreadPool pool(4);
+  KernelConfig cfg;
+  cfg.serial_nnz_threshold = 0;
+  for (BalanceMode mode : {BalanceMode::EqualRows, BalanceMode::BalancedNnz}) {
+    cfg.balance = mode;
+    std::fill(y_par.begin(), y_par.end(), -1.0);
+    multiply_symmetric_half_parallel(view, x, y_par, pool, cfg);
+    // Parallel partials reassociate the scatter sums: tolerance, not bitwise.
+    for (std::size_t i = 0; i < y_par.size(); ++i) {
+      EXPECT_NEAR(y_half[i], y_par[i], 1e-12 * (1.0 + std::abs(y_half[i])));
+      EXPECT_NEAR(y_full[i], y_par[i], 1e-12 * (1.0 + std::abs(y_full[i])));
+    }
+  }
+}
+
+TEST(KernelsBlas1, PoolVariantsMatchSerial) {
+  // Above kBlas1ParallelThreshold so the pool path actually splits.
+  const std::size_t n = kBlas1ParallelThreshold + 1234;
+  const auto a = random_vector(n, 5);
+  const auto b = random_vector(n, 6);
+  ThreadPool pool(4);
+
+  const double d_serial = dot(a, b);
+  const double d_pool = dot(a, b, pool);
+  EXPECT_NEAR(d_serial, d_pool, 1e-10 * (1.0 + std::abs(d_serial)));
+
+  const double n_serial = norm2(a);
+  const double n_pool = norm2(a, pool);
+  EXPECT_NEAR(n_serial, n_pool, 1e-10 * (1.0 + n_serial));
+
+  auto y_serial = b;
+  auto y_pool = b;
+  axpy(2.5, a, y_serial);
+  axpy(2.5, a, y_pool, pool);
+  EXPECT_EQ(y_serial, y_pool);  // element-wise: no reassociation at all
+
+  std::vector<std::span<const double>> parts{a, b};
+  std::vector<double> s_serial(n), s_pool(n);
+  sum_vectors(parts, s_serial);
+  sum_vectors(parts, s_pool, pool);
+  EXPECT_EQ(s_serial, s_pool);
+}
+
+TEST(KernelsParallel, SerialGateIsOnNnzNotRows) {
+  // Many rows but almost no work: with the default config this must take
+  // the serial path (and still be correct); with threshold 0 the parallel
+  // path must agree bitwise.
+  CsrMatrix m;
+  m.rows = m.cols = 5000;
+  m.row_ptr.assign(5001, 0);
+  m.col_idx = {7};
+  m.values = {3.0};
+  for (std::uint64_t r = 1; r <= 5000; ++r) m.row_ptr[r] = 1;
+  std::vector<std::byte> bytes;
+  serialize_csr(m, bytes);
+  const CsrView view = CsrView::from_bytes(bytes);
+  const auto x = random_vector(5000, 7);
+  std::vector<double> y_ref(5000), y_default(5000), y_eager(5000);
+  m.multiply(x, y_ref);
+  ThreadPool pool(4);
+  multiply_parallel(view, x, y_default, pool);
+  KernelConfig eager;
+  eager.serial_nnz_threshold = 0;
+  multiply_parallel(view, x, y_eager, pool, eager);
+  EXPECT_EQ(y_ref, y_default);
+  EXPECT_EQ(y_ref, y_eager);
 }
 
 }  // namespace

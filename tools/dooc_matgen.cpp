@@ -2,7 +2,8 @@
 // middleware's on-disk format) or Matrix Market form.
 //
 //   dooc_matgen --kind=uniform-gap --rows=10000 --cols=10000 --nnz=200000 \
-//               --out=A.bin [--format=csr|mtx] [--seed=42]
+//               --out=A.bin [--format=csr|sell|mtx] [--seed=42]
+//   dooc_matgen --kind=power-law --rows=10000 --nnz=500000 --alpha=1.5 ...
 //   dooc_matgen --kind=laplacian --rows=4096 --out=L.mtx --format=mtx
 //   dooc_matgen --kind=banded --rows=1000 --bandwidth=4 --diagonal=8 ...
 //   dooc_matgen --kind=ci --protons=2 --neutrons=2 --nmax=2 --two-mj=0 ...
@@ -14,6 +15,7 @@
 #include "common/stats.hpp"
 #include "spmv/generator.hpp"
 #include "spmv/matrix_market.hpp"
+#include "spmv/sell.hpp"
 
 using namespace dooc;
 
@@ -23,9 +25,10 @@ int main(int argc, char** argv) {
   const std::string out_path = opts.get("out", "");
   if (out_path.empty()) {
     std::fprintf(stderr,
-                 "usage: dooc_matgen --kind=uniform-gap|banded|laplacian|ci --out=FILE\n"
-                 "       [--rows=N --cols=N --nnz=NNZ --seed=S] [--format=csr|mtx]\n"
-                 "       [--bandwidth=B --diagonal=D] [--protons= --neutrons= --nmax= --two-mj=]\n");
+                 "usage: dooc_matgen --kind=uniform-gap|power-law|banded|laplacian|ci --out=FILE\n"
+                 "       [--rows=N --cols=N --nnz=NNZ --seed=S] [--format=csr|sell|mtx]\n"
+                 "       [--alpha=A] [--bandwidth=B --diagonal=D]\n"
+                 "       [--protons= --neutrons= --nmax= --two-mj=]\n");
     return 2;
   }
   const auto rows = static_cast<std::uint64_t>(opts.get_int("rows", 1000));
@@ -37,6 +40,10 @@ int main(int argc, char** argv) {
     const auto nnz = static_cast<std::uint64_t>(opts.get_int("nnz", static_cast<std::int64_t>(rows * 16)));
     const double d = spmv::choose_gap_parameter(rows, cols, nnz);
     m = spmv::generate_uniform_gap(rows, cols, d, seed);
+  } else if (kind == "power-law") {
+    const auto nnz = static_cast<std::uint64_t>(opts.get_int("nnz", static_cast<std::int64_t>(rows * 16)));
+    const double mean_row_nnz = static_cast<double>(nnz) / static_cast<double>(rows);
+    m = spmv::generate_power_law(rows, cols, mean_row_nnz, opts.get_double("alpha", 1.5), seed);
   } else if (kind == "banded") {
     m = spmv::generate_banded(rows, static_cast<std::uint64_t>(opts.get_int("bandwidth", 3)),
                               opts.get_double("diagonal", 8.0));
@@ -62,7 +69,11 @@ int main(int argc, char** argv) {
     spmv::write_matrix_market_file(out_path, m);
   } else {
     std::vector<std::byte> bytes;
-    spmv::serialize_csr(m, bytes);
+    if (format == "sell") {
+      spmv::serialize_sell(spmv::build_sell(m, 8, 256), bytes);
+    } else {
+      spmv::serialize_csr(m, bytes);
+    }
     std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));

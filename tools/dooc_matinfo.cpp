@@ -1,5 +1,7 @@
-// Inspect a sparse matrix file (binary CSR or Matrix Market): dimensions,
-// non-zeros, row-population statistics, bandwidth, symmetry check.
+// Inspect a sparse matrix file (binary CSR, binary SELL or Matrix Market):
+// dimensions, non-zeros, row-population statistics and histogram, bandwidth,
+// symmetry check, and the thread-partition imbalance that tells whether the
+// matrix needs the nnz-balanced split / SELL-C-σ kernels.
 //
 //   dooc_matinfo A.bin
 //   dooc_matinfo A.mtx
@@ -9,26 +11,83 @@
 #include "common/stats.hpp"
 #include "spmv/csr.hpp"
 #include "spmv/matrix_market.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/sell.hpp"
 
 using namespace dooc;
 
 namespace {
 
+spmv::CsrMatrix sell_to_csr(const spmv::SellMatrix& s) {
+  // Unpack chunks back to per-row (row, col, value) triplets in row order.
+  spmv::CsrMatrix m;
+  m.rows = s.rows;
+  m.cols = s.cols;
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(s.rows);
+  for (std::uint64_t ch = 0; ch < s.num_chunks(); ++ch) {
+    const std::uint64_t lanes = std::min<std::uint64_t>(s.chunk, s.rows - ch * s.chunk);
+    const std::uint64_t width = (s.chunk_ptr[ch + 1] - s.chunk_ptr[ch]) / s.chunk;
+    for (std::uint64_t w = 0; w < width; ++w) {
+      for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t e = s.chunk_ptr[ch] + w * s.chunk + lane;
+        const double v = s.values[e];
+        if (v == 0.0) continue;  // padding (or an explicit zero — dropped)
+        rows[s.perm[ch * s.chunk + lane]].emplace_back(s.col_idx[e], v);
+      }
+    }
+  }
+  m.row_ptr.push_back(0);
+  for (auto& row : rows) {
+    for (const auto& [c, v] : row) {
+      m.col_idx.push_back(c);
+      m.values.push_back(v);
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
 spmv::CsrMatrix load(const std::string& path) {
-  // Try binary CSR first (cheap magic check), fall back to Matrix Market.
+  // Try the binary formats first (cheap magic check), then Matrix Market.
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open '" + path + "'");
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (in && magic == spmv::kCsrMagic) {
+  if (in && (magic == spmv::kCsrMagic || magic == spmv::kSellMagic)) {
     in.seekg(0, std::ios::end);
     const auto size = static_cast<std::size_t>(in.tellg());
     in.seekg(0);
     std::vector<std::byte> bytes(size);
     in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+    if (magic == spmv::kSellMagic) {
+      return sell_to_csr(spmv::materialize(spmv::SellView::from_bytes(bytes)));
+    }
     return spmv::materialize(spmv::CsrView::from_bytes(bytes));
   }
   return spmv::read_matrix_market_file(path);
+}
+
+void print_partition_report(const spmv::CsrMatrix& m) {
+  // Imbalance of the two splits at representative thread counts, plus the
+  // SELL-C-σ padding overhead — the numbers that pick the kernel config.
+  std::printf("partitioning (max part nnz / ideal):\n");
+  double worst_equal = 1.0;
+  for (std::size_t parts : {4u, 16u}) {
+    const double eq = spmv::partition_imbalance(m.row_ptr, spmv::equal_row_ranges(m.rows, parts));
+    const double bal =
+        spmv::partition_imbalance(m.row_ptr, spmv::balanced_row_ranges(m.row_ptr, parts));
+    worst_equal = std::max(worst_equal, eq);
+    std::printf("  P=%-3zu equal-rows %.2f   nnz-balanced %.2f\n", parts, eq, bal);
+  }
+  const double fill = spmv::build_sell(m, 8, 256).fill_ratio();
+  std::printf("SELL-8-256:  fill ratio %.3f (padding overhead %.1f%%)\n", fill,
+              (fill - 1.0) * 100.0);
+  if (worst_equal > 1.5) {
+    std::printf("recommend:   nnz-balanced split%s (equal-rows starves at %.1fx)\n",
+                fill < 1.5 ? " + SELL-C-sigma" : "", worst_equal);
+  } else {
+    std::printf("recommend:   row lengths are uniform; any split works\n");
+  }
 }
 
 }  // namespace
@@ -53,11 +112,13 @@ int main(int argc, char** argv) {
                 format_bytes(static_cast<double>(m.serialized_bytes())).c_str());
 
     RunningStats row_stats;
+    Log2Histogram row_hist;
     std::uint64_t empty_rows = 0, bandwidth = 0, diag_nnz = 0;
     bool structurally_symmetric = m.rows == m.cols;
     for (std::uint64_t r = 0; r < m.rows; ++r) {
       const std::uint64_t count = m.row_ptr[r + 1] - m.row_ptr[r];
       row_stats.add(static_cast<double>(count));
+      row_hist.add(static_cast<double>(count));
       if (count == 0) ++empty_rows;
       for (std::uint64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
         const std::uint64_t c = m.col_idx[k];
@@ -78,6 +139,26 @@ int main(int argc, char** argv) {
     }
     std::printf("row nnz:     min %.0f / mean %.2f / max %.0f (stddev %.2f)\n", row_stats.min(),
                 row_stats.mean(), row_stats.max(), row_stats.stddev());
+    std::printf("row nnz q:   p50 %.0f / p90 %.0f / p99 %.0f\n", row_hist.quantile(0.5),
+                row_hist.quantile(0.9), row_hist.quantile(0.99));
+    // Log2 histogram of row populations, one bar per occupied bucket.
+    if (m.rows > 0) {
+      std::uint64_t max_count = 1;
+      for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+        max_count = std::max(max_count, row_hist.bucket(static_cast<std::size_t>(b)));
+      }
+      std::printf("row length histogram (log2 buckets):\n");
+      for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+        const std::uint64_t c = row_hist.bucket(static_cast<std::size_t>(b));
+        if (c == 0) continue;
+        const auto lo = b == 0 ? 0ull : 1ull << (b - 1);
+        const auto hi = b == 0 ? 1ull : 1ull << b;
+        const int bar = static_cast<int>(50 * c / max_count);
+        std::printf("  [%6llu, %6llu)  %10llu  %.*s\n", static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi), static_cast<unsigned long long>(c), bar,
+                    "##################################################");
+      }
+    }
     std::printf("empty rows:  %llu\n", static_cast<unsigned long long>(empty_rows));
     std::printf("bandwidth:   %llu\n", static_cast<unsigned long long>(bandwidth));
     std::printf("diagonal:    %llu of %llu present\n", static_cast<unsigned long long>(diag_nnz),
@@ -86,6 +167,7 @@ int main(int argc, char** argv) {
       std::printf("symmetry:    pattern %s\n",
                   structurally_symmetric ? "symmetric" : "asymmetric");
     }
+    if (m.rows > 0 && m.nnz() > 0) print_partition_report(m);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
