@@ -82,6 +82,10 @@ inline void section(const char* title) {
 /// no JSON library is needed.
 class JsonReport {
  public:
+  /// Bumped whenever the report layout changes; dooc_benchdiff flags a
+  /// cross-version comparison. v2 added the field itself.
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   class Record {
    public:
     Record& field(const std::string& key, const std::string& v) {
@@ -121,6 +125,8 @@ class JsonReport {
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (!out) return false;
     std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"schema_version\": %llu,\n",
+                 static_cast<unsigned long long>(kSchemaVersion));
     for (const auto& [k, v] : meta_) std::fprintf(out, "  %s: %s,\n", quote(k).c_str(), v.c_str());
     std::fprintf(out, "  \"records\": [\n");
     for (std::size_t r = 0; r < records_.size(); ++r) {

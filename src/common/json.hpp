@@ -1,0 +1,194 @@
+// Minimal header-only JSON value model + recursive-descent parser. Just
+// enough for tooling that reads our own artifacts (BENCH_*.json reports,
+// trace metadata): objects keep insertion order, numbers are doubles,
+// malformed input throws std::runtime_error with a byte position. Not a
+// general-purpose library — no unicode surrogate handling, no
+// serialization (writers build strings directly).
+#pragma once
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dooc::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const auto code = static_cast<unsigned>(
+                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  Value value() {
+    ws();
+    Value v;
+    switch (peek()) {
+      case '{': {
+        v.kind = Value::Kind::Object;
+        ++pos_;
+        ws();
+        if (peek() == '}') { ++pos_; return v; }
+        while (true) {
+          ws();
+          std::string key = string();
+          ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), value());
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = Value::Kind::Array;
+        ++pos_;
+        ws();
+        if (peek() == ']') { ++pos_; return v; }
+        while (true) {
+          v.array.push_back(value());
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = Value::Kind::String;
+        v.str = string();
+        return v;
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        v.kind = Value::Kind::Bool;
+        return v;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return v;
+      default:
+        v.kind = Value::Kind::Number;
+        v.number = number();
+        return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(std::string_view text) { return detail::Parser(text).parse(); }
+
+}  // namespace dooc::json

@@ -4,7 +4,30 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace dooc::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map onto
+/// underscores under a "dooc_" prefix ("sched.tasks_parked" →
+/// "dooc_sched_tasks_parked").
+std::string prom_name(const std::string& name) {
+  std::string out = "dooc_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_labels(int node) {
+  return node >= 0 ? "{node=\"" + std::to_string(node) + "\"}" : std::string();
+}
+
+}  // namespace
 
 // ---- snapshot ---------------------------------------------------------------
 
@@ -48,6 +71,90 @@ std::string MetricsSnapshot::to_text() const {
     out += buf;
   }
   return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  char buf[256];
+  std::string last_name;
+  // entries is ordered by (name, node): one TYPE header per name, then the
+  // per-node samples in node order — stable across runs by construction.
+  for (const auto& [key, e] : entries) {
+    const std::string name = prom_name(key.name);
+    const std::string labels = prom_labels(key.node);
+    if (key.name != last_name) {
+      const char* type = e.kind == MetricKind::Counter   ? "counter"
+                         : e.kind == MetricKind::Gauge   ? "gauge"
+                                                         : "summary";
+      out += "# TYPE " + name + " " + type + "\n";
+      last_name = key.name;
+    }
+    switch (e.kind) {
+      case MetricKind::Counter:
+        std::snprintf(buf, sizeof(buf), "%s%s %llu\n", name.c_str(), labels.c_str(),
+                      static_cast<unsigned long long>(e.count));
+        out += buf;
+        break;
+      case MetricKind::Gauge:
+        std::snprintf(buf, sizeof(buf), "%s%s %.9g\n", name.c_str(), labels.c_str(), e.value);
+        out += buf;
+        break;
+      case MetricKind::Histogram: {
+        const std::string node_label = key.node >= 0
+                                           ? "node=\"" + std::to_string(key.node) + "\","
+                                           : std::string();
+        const auto& st = e.hist.stats();
+        for (const double q : {0.5, 0.99}) {
+          std::snprintf(buf, sizeof(buf), "%s{%squantile=\"%g\"} %.9g\n", name.c_str(),
+                        node_label.c_str(), q, e.hist.quantile(q));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_sum%s %.9g\n", name.c_str(), labels.c_str(),
+                      st.mean() * static_cast<double>(st.count()));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_count%s %llu\n", name.c_str(), labels.c_str(),
+                      static_cast<unsigned long long>(st.count()));
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---- sampler ----------------------------------------------------------------
+
+void MetricsSampler::flush_once() {
+  if (!trace_enabled()) return;
+  const MetricsSnapshot snap = Metrics::instance().snapshot();
+  for (const auto& [key, e] : snap.entries) {
+    if (e.kind == MetricKind::Histogram) continue;
+    const double v = e.kind == MetricKind::Counter ? static_cast<double>(e.count) : e.value;
+    emit_counter(intern("metrics"), intern(key.name), key.node,
+                 v > 0.0 ? static_cast<std::uint64_t>(v) : 0);
+  }
+}
+
+MetricsSampler::MetricsSampler(std::chrono::milliseconds interval) {
+  thread_ = std::thread([this, interval] {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      lock.unlock();
+      flush_once();
+      lock.lock();
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+    }
+  });
+}
+
+MetricsSampler::~MetricsSampler() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  flush_once();  // final sample so the series reaches the end of the run
 }
 
 // ---- registry ---------------------------------------------------------------

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -88,6 +91,12 @@ struct MetricsSnapshot {
 
   /// "name[node]  kind  value" table; histograms print count/mean/p50/p99.
   [[nodiscard]] std::string to_text() const;
+
+  /// Prometheus text exposition format: one `# TYPE` line per metric name,
+  /// samples labeled {node="n"} (node -1 omitted), histograms exported as
+  /// <name>_count / _sum / _max summaries. Stable-sorted (the underlying
+  /// map is ordered), so output is diffable across runs.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Process-wide registry. Lookups take a mutex — resolve references once
@@ -115,6 +124,31 @@ class Metrics {
 
   struct Impl;
   Impl& impl() const;
+};
+
+/// Periodically flushes the registry's counters and gauges into the trace
+/// as Chrome Counter events (cat "metrics", pid = metric node), so a
+/// Perfetto timeline shows cache-hit counts, inflight bytes and completion
+/// queue depth *over time* next to the spans that caused them. A no-op
+/// while tracing is disabled. RAII: sampling stops (with one final flush)
+/// on destruction.
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(std::chrono::milliseconds interval = std::chrono::milliseconds(10));
+  ~MetricsSampler();
+
+  /// Emit one Counter event per registered counter/gauge right now
+  /// (histograms are distributions, not time series — skipped).
+  static void flush_once();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace dooc::obs

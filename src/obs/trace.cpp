@@ -60,6 +60,12 @@ const std::string& interned(std::uint32_t id) {
   return t.strings.at(id);
 }
 
+std::size_t intern_count() {
+  InternTable& t = intern_table();
+  std::shared_lock lock(t.mutex);
+  return t.strings.size();
+}
+
 std::int32_t current_thread_lane() {
   static std::atomic<std::int32_t> next{0};
   thread_local const std::int32_t lane = next.fetch_add(1, std::memory_order_relaxed);
@@ -113,12 +119,28 @@ std::vector<Event> TraceSession::stop() {
   Impl& im = impl();
   std::vector<Event> events;
   std::string path;
+  TraceMeta meta;
   {
     std::lock_guard lock(im.mutex);
     events.swap(im.central);
-    for (auto& r : im.rings) r->drain(events);
+    for (auto& r : im.rings) {
+      r->drain(events);
+      meta.dropped_events += r->dropped();
+      meta.ring_capacity = r->capacity();
+    }
     path = im.path;
     im.path.clear();
+  }
+  meta.interned_strings = intern_count();
+  if (meta.ring_capacity == 0) meta.ring_capacity = Impl::Ring().capacity();
+  if (meta.dropped_events > 0) {
+    // The exported file says so too (dooc_trace_stats metadata record), but
+    // a consumer eyeballing Perfetto will not read metadata — warn loudly.
+    std::fprintf(stderr,
+                 "obs: trace is INCOMPLETE: %llu event(s) dropped on full rings "
+                 "(ring capacity %llu)\n",
+                 static_cast<unsigned long long>(meta.dropped_events),
+                 static_cast<unsigned long long>(meta.ring_capacity));
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
@@ -126,7 +148,7 @@ std::vector<Event> TraceSession::stop() {
     // A bad output path must not abort the run (stop() may execute from an
     // atexit handler, where an escaping exception calls std::terminate).
     try {
-      write_chrome_trace(path, events);
+      write_chrome_trace(path, events, &meta);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "obs: trace not written: %s\n", e.what());
     }
@@ -208,6 +230,9 @@ void append_event_json(std::string& out, const Event& ev) {
     case Phase::Complete: out += 'X'; break;
     case Phase::Instant: out += 'i'; break;
     case Phase::Counter: out += 'C'; break;
+    case Phase::FlowStart: out += 's'; break;
+    case Phase::FlowStep: out += 't'; break;
+    case Phase::FlowEnd: out += 'f'; break;
   }
   out += '"';
   // Chrome expects microseconds; keep ns precision with 3 decimals.
@@ -218,6 +243,15 @@ void append_event_json(std::string& out, const Event& ev) {
     out += buf;
   }
   if (ev.phase == Phase::Instant) out += ",\"s\":\"t\"";
+  if (ev.phase == Phase::FlowStart || ev.phase == Phase::FlowStep ||
+      ev.phase == Phase::FlowEnd) {
+    // 64-bit correlation ids exceed JSON double precision: ship as string.
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"%llu\"",
+                  static_cast<unsigned long long>(ev.id));
+    out += buf;
+    // Bind the arrowhead to the enclosing slice, not the next one.
+    if (ev.phase == Phase::FlowEnd) out += ",\"bp\":\"e\"";
+  }
   std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", ev.pid, ev.tid);
   out += buf;
   if (ev.nargs > 0) {
@@ -237,14 +271,26 @@ void append_event_json(std::string& out, const Event& ev) {
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<Event>& events) {
+std::string chrome_trace_json(const std::vector<Event>& events, const TraceMeta* meta) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  if (meta != nullptr) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"dooc_trace_stats\",\"ph\":\"M\",\"pid\":-1,\"tid\":0,"
+                  "\"args\":{\"dropped_events\":%llu,\"ring_capacity\":%llu,"
+                  "\"interned_strings\":%llu}}",
+                  static_cast<unsigned long long>(meta->dropped_events),
+                  static_cast<unsigned long long>(meta->ring_capacity),
+                  static_cast<unsigned long long>(meta->interned_strings));
+    out += buf;
+    first = false;
+  }
   // Name the process lanes: pid -1 is runtime-wide, pid n is virtual node n.
   std::vector<std::int32_t> pids;
   for (const auto& ev : events) pids.push_back(ev.pid);
   std::sort(pids.begin(), pids.end());
   pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
-  bool first = true;
   for (std::int32_t pid : pids) {
     if (!first) out += ",\n";
     first = false;
@@ -264,10 +310,11 @@ std::string chrome_trace_json(const std::vector<Event>& events) {
   return out;
 }
 
-void write_chrome_trace(const std::string& path, const std::vector<Event>& events) {
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events,
+                        const TraceMeta* meta) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) throw std::runtime_error("cannot open trace output '" + path + "'");
-  const std::string json = chrome_trace_json(events);
+  const std::string json = chrome_trace_json(events, meta);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
 }

@@ -35,13 +35,17 @@ inline bool trace_enabled() noexcept {
 
 /// Chrome trace-event phases we emit. Complete carries ts+dur ("X"),
 /// Instant is a point marker ("i"), Counter a sampled value ("C").
-enum class Phase : std::uint8_t { Complete, Instant, Counter };
+/// FlowStart/FlowStep/FlowEnd ("s"/"t"/"f") are causal arrows between
+/// spans, correlated by Event::id — Perfetto draws them, and
+/// obs::CausalGraph rebuilds the producer→consumer DAG from them.
+enum class Phase : std::uint8_t { Complete, Instant, Counter, FlowStart, FlowStep, FlowEnd };
 
 /// Fixed-size POD event record (what the rings store). Strings are interned
 /// ids resolved by the session at export time.
 struct Event {
   std::uint64_t ts_ns = 0;   ///< process-epoch ns, or virtual ns (sim runs)
   std::uint64_t dur_ns = 0;  ///< Complete events only
+  std::uint64_t id = 0;      ///< flow correlation id (Flow* phases only)
   std::uint32_t name = 0;    ///< interned
   std::uint32_t cat = 0;     ///< interned category ("task", "io", "storage", ...)
   std::int32_t pid = -1;     ///< virtual node id (-1 = whole process)
@@ -57,6 +61,17 @@ struct Event {
 std::uint32_t intern(std::string_view s);
 /// Reverse lookup (export/tests). Lifetime: until process exit.
 const std::string& interned(std::uint32_t id);
+/// Number of distinct strings interned so far (exported trace metadata).
+std::size_t intern_count();
+
+/// Session-level facts embedded in the exported trace as a Chrome metadata
+/// record ("ph":"M", name "dooc_trace_stats") so a consumer can tell a
+/// complete trace from one that lost events to full rings.
+struct TraceMeta {
+  std::uint64_t dropped_events = 0;
+  std::uint64_t ring_capacity = 0;    ///< per-thread ring slots
+  std::uint64_t interned_strings = 0;
+};
 
 class TraceSession {
  public:
@@ -93,9 +108,11 @@ class TraceSession {
 };
 
 /// Write events as Chrome trace-event JSON ({"traceEvents":[...]}).
-void write_chrome_trace(const std::string& path, const std::vector<Event>& events);
+/// `meta`, when given, is embedded as a "dooc_trace_stats" metadata record.
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events,
+                        const TraceMeta* meta = nullptr);
 /// Same, to a string (tests).
-std::string chrome_trace_json(const std::vector<Event>& events);
+std::string chrome_trace_json(const std::vector<Event>& events, const TraceMeta* meta = nullptr);
 
 // ---- convenience emitters --------------------------------------------------
 
@@ -135,6 +152,28 @@ inline void emit_counter(std::uint32_t cat, std::uint32_t name, std::int32_t pid
   ev.nargs = 1;
   ev.arg_name[0] = intern("value");
   ev.arg_val[0] = value;
+  TraceSession::instance().emit(ev);
+}
+
+/// One point of a causal flow (s/t/f). The correlation id ties the points
+/// of one flow together; `ts_ns` must sit inside (or on the edge of) the
+/// span the point should bind to, on the same pid/tid lane.
+inline void emit_flow(Phase phase, std::uint32_t cat, std::uint32_t name, std::int32_t pid,
+                      std::int32_t tid, std::uint64_t ts_ns, std::uint64_t flow_id,
+                      std::uint32_t arg_name = 0, std::uint64_t arg_val = 0) {
+  Event ev;
+  ev.phase = phase;
+  ev.cat = cat;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = ts_ns;
+  ev.id = flow_id;
+  if (arg_name != 0) {
+    ev.nargs = 1;
+    ev.arg_name[0] = arg_name;
+    ev.arg_val[0] = arg_val;
+  }
   TraceSession::instance().emit(ev);
 }
 

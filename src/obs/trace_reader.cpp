@@ -113,6 +113,20 @@ class JsonReader {
     return std::stod(text_.substr(start, pos_ - start));
   }
 
+  /// Flow-event "id": we export it as a decimal string (64-bit ids exceed
+  /// double precision) but also accept bare numbers from other producers.
+  std::uint64_t read_flow_id() {
+    if (peek() == '"') {
+      const std::string s = read_string();
+      try {
+        return std::stoull(s, nullptr, 0);
+      } catch (const std::exception&) {
+        return 0;  // non-numeric id (some tools use strings): no correlation
+      }
+    }
+    return static_cast<std::uint64_t>(read_number());
+  }
+
   void skip_value() {
     skip_ws();
     switch (peek()) {
@@ -181,6 +195,7 @@ class JsonReader {
       else if (key == "dur") ev.dur_us = read_number();
       else if (key == "pid") ev.pid = static_cast<int>(read_number());
       else if (key == "tid") ev.tid = static_cast<int>(read_number());
+      else if (key == "id") ev.flow_id = read_flow_id();
       else if (key == "args") read_args(ev);
       else skip_value();
       skip_ws();

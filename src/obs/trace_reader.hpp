@@ -15,11 +15,12 @@ namespace dooc::obs {
 struct ParsedEvent {
   std::string name;
   std::string cat;
-  char phase = '?';  ///< 'X', 'i', 'C', 'M', ...
+  char phase = '?';  ///< 'X', 'i', 'C', 'M', 's', 't', 'f', ...
   double ts_us = 0.0;
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  std::uint64_t flow_id = 0;  ///< "id" field of flow events ('s'/'t'/'f')
   std::map<std::string, double> args;
 };
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -66,6 +67,7 @@ void emit_reorder(int node, const StageDecision& d) {
 /// read completions fill, plus what the trace needs to know about the wait.
 struct Engine::Staged {
   std::vector<storage::ReadHandle> inputs;
+  std::vector<std::uint8_t> missing;    ///< per-input: non-resident at stage
   std::uint64_t missing_bytes = 0;      ///< at stage time
   bool resident_at_stage = true;
   std::uint64_t stage_ts_ns = 0;        ///< InputsPending span start
@@ -181,6 +183,17 @@ bool Engine::drain_completions(NodeState& ns) {
         ev.arg_name[1] = obs::intern("missing_bytes");
         ev.arg_val[1] = st.missing_bytes;
         obs::TraceSession::instance().emit(ev);
+        // Close each missing input's load flow on the waiting task: the
+        // 'f' point carries the consumer task id, which is how the causal
+        // graph knows which load gated which task.
+        const Task& task = graph_->task(t);
+        for (std::size_t i = 0; i < task.inputs.size() && i < st.missing.size(); ++i) {
+          if (st.missing[i] == 0) continue;
+          obs::emit_flow(obs::Phase::FlowEnd, obs::intern("load"), obs::intern("load-ready"),
+                         ns.node, ev.tid, now,
+                         obs::causal::flow_id_load(task.inputs[i].array, task.inputs[i].offset),
+                         obs::intern("task"), t);
+        }
       }
     }
   }
@@ -193,6 +206,7 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
   struct Plan {
     TaskId task;
     const Task* def;
+    std::vector<std::uint8_t> missing;  ///< per-input, as staged
   };
   std::vector<Plan> plans;
   // Resident candidates stage freely (they never consume the window), then
@@ -211,17 +225,22 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
       }
       Staged st;
       st.inputs.resize(task.inputs.size());
-      for (const auto& in : task.inputs) {
-        if (!storage_node.is_resident(in)) st.missing_bytes += in.length;
+      st.missing.resize(task.inputs.size(), 0);
+      for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+        if (!storage_node.is_resident(task.inputs[i])) {
+          st.missing[i] = 1;
+          st.missing_bytes += task.inputs[i].length;
+        }
       }
       st.resident_at_stage = st.missing_bytes == 0;
       st.stage_ts_ns = obs::TraceClock::now_ns();
       if (!st.resident_at_stage && ns.m_parked != nullptr) ns.m_parked->add();
+      std::vector<std::uint8_t> missing = st.missing;
       ns.staged.emplace(d.task, std::move(st));
       // Every input read reports through the completion queue, so the task
       // waits for one event per input (resident ones land immediately).
       core_->stage(d.task, static_cast<int>(task.inputs.size()));
-      plans.push_back({d.task, &task});
+      plans.push_back({d.task, &task, std::move(missing)});
     }
   }
   if (plans.empty()) return;
@@ -230,8 +249,16 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
   lock.unlock();
   for (const Plan& p : plans) {
     for (std::size_t i = 0; i < p.def->inputs.size(); ++i) {
+      const auto& in = p.def->inputs[i];
+      if (tracing && i < p.missing.size() && p.missing[i] != 0) {
+        // Load flow opens here, at issue; the storage node marks delivery
+        // ('t') and drain_completions closes it ('f') at the consumer.
+        obs::emit_flow(obs::Phase::FlowStart, obs::intern("load"), obs::intern("read-issue"),
+                       ns.node, obs::current_thread_lane(), obs::TraceClock::now_ns(),
+                       obs::causal::flow_id_load(in.array, in.offset));
+      }
       try {
-        storage_node.read_async(p.def->inputs[i], make_tag(run_epoch_, p.task, i));
+        storage_node.read_async(in, make_tag(run_epoch_, p.task, i));
       } catch (...) {
         record_error(std::current_exception());
         abort_.store(true);
@@ -340,10 +367,19 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
   // compute in the overlap accounting. tid is the per-thread lane
   // (unique process-wide), so spans emitted by one worker always nest
   // cleanly; the compute slot travels as an arg.
+  const std::int32_t lane = obs::current_thread_lane();
   std::optional<obs::Span> task_span;
   if (tracing) {
-    task_span.emplace("task", task.name, ns.node);
+    task_span.emplace("task", task.name, ns.node, lane);
     task_span->arg("task", t).arg("missing_bytes", missing_bytes);
+    // Close the producer→consumer flow of every input array here, inside
+    // the just-opened task span: the array name is write-once (storage
+    // immutability), so its dep flow id uniquely names the producer.
+    const std::uint64_t now = obs::TraceClock::now_ns();
+    for (const auto& in : task.inputs) {
+      obs::emit_flow(obs::Phase::FlowEnd, obs::intern("dep"), obs::intern("consume"), ns.node,
+                     lane, now, obs::causal::flow_id_dep(in.array), obs::intern("task"), t);
+    }
   }
 
   if (task.work) {
@@ -355,6 +391,19 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
   // Release inputs first, then outputs (sealing makes results visible).
   inputs.clear();
   outputs.clear();
+
+  if (tracing) {
+    // Open the dep flow of every produced array while the task span is
+    // still alive ('s' binds to the enclosing slice). Consumers may have
+    // unblocked the instant outputs sealed above, so a consumer span can
+    // legitimately start before this 's' lands; the causal graph drops
+    // such sub-µs inversions instead of inventing a backwards edge.
+    const std::uint64_t now = obs::TraceClock::now_ns();
+    for (const auto& out : task.outputs) {
+      obs::emit_flow(obs::Phase::FlowStart, obs::intern("dep"), obs::intern("produce"), ns.node,
+                     lane, now, obs::causal::flow_id_dep(out.array), obs::intern("task"), t);
+    }
+  }
 
   if (config_.record_trace) {
     ev.end = clock_.seconds();

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "obs/causal.hpp"
 #include "obs/trace.hpp"
 
 namespace dooc::sim {
@@ -37,6 +38,17 @@ void emit_virtual(std::string_view cat, std::string_view name, int pid, int tid,
     ev.arg_val[0] = arg_val;
   }
   obs::TraceSession::instance().emit(ev);
+}
+
+/// Flow point stamped in virtual nanoseconds. Correlation ids come from the
+/// same obs::causal::flow_id_* functions the real engine uses, so a DES
+/// trace and an engine trace of the same graph correlate identically.
+void emit_virtual_flow(obs::Phase phase, std::string_view cat, std::string_view name, int pid,
+                       int tid, double ts_s, std::uint64_t flow_id,
+                       std::string_view arg_name = {}, std::uint64_t arg_val = 0) {
+  obs::emit_flow(phase, obs::intern(cat), obs::intern(name), pid, tid,
+                 static_cast<std::uint64_t>(ts_s * 1e9), flow_id,
+                 arg_name.empty() ? 0 : obs::intern(arg_name), arg_val);
 }
 }  // namespace
 
@@ -173,6 +185,12 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
   const FlowId id = net_.start_flow(st.bytes, std::move(path), own_cap);
   flow_target_[id] = {ns.node, array};
   flow_start_[id] = now_;
+  if (obs::trace_enabled()) {
+    // Same lane as the io span emitted at flow completion (100 + id%16).
+    emit_virtual_flow(obs::Phase::FlowStart, "load", "read-issue", ns.node,
+                      100 + static_cast<int>(id % 16), now_,
+                      obs::causal::flow_id_load(array, 0));
+  }
   if (is_gpfs) {
     gpfs_flows_.insert(id);
     metrics_.disk_bytes += st.bytes;
@@ -207,8 +225,20 @@ void SimEngine::schedule_node(NodeState& ns) {
     ns.running.emplace_back(t, now_ + dur);
     if (obs::trace_enabled()) {
       // Slot index the task just took doubles as its compute-lane tid.
-      emit_virtual("task", graph_->task(t).name, ns.node,
-                   static_cast<int>(ns.running.size()) - 1, now_, dur, "task", t);
+      const int tid = static_cast<int>(ns.running.size()) - 1;
+      emit_virtual("task", graph_->task(t).name, ns.node, tid, now_, dur, "task", t);
+      for (const auto& in : graph_->task(t).inputs) {
+        // Close the producer→consumer dep flow, and (for bulk inputs) the
+        // load flow of the fetch that made the input resident here — an
+        // input this node never fetched leaves an orphan 'f', which both
+        // viewers and the causal graph drop.
+        emit_virtual_flow(obs::Phase::FlowEnd, "dep", "consume", ns.node, tid, now_,
+                          obs::causal::flow_id_dep(in.array), "task", t);
+        if (in.length > kControlBytes) {
+          emit_virtual_flow(obs::Phase::FlowEnd, "load", "load-ready", ns.node, tid, now_,
+                            obs::causal::flow_id_load(in.array, 0), "task", t);
+        }
+      }
     }
     for (const auto& in : graph_->task(t).inputs) {
       if (in.length <= kControlBytes) continue;
@@ -264,6 +294,10 @@ void SimEngine::finish_task(NodeState& ns, TaskId t) {
   for (const auto& out : task.outputs) {
     evict_for(ns, arrays_.at(out.array).bytes);
     make_resident(ns.node, out.array);
+    if (obs::trace_enabled()) {
+      emit_virtual_flow(obs::Phase::FlowStart, "dep", "produce", ns.node, 0, now_,
+                        obs::causal::flow_id_dep(out.array), "task", t);
+    }
   }
   metrics_.total_flops += task.est_flops;
 
@@ -391,6 +425,9 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
           emit_virtual("io", was_gpfs ? "gpfs_read" : "ib_fetch", node,
                        100 + static_cast<int>(id % 16), sit->second, now_ - sit->second,
                        "bytes", st.bytes);
+          emit_virtual_flow(obs::Phase::FlowStep, "load", "deliver", node,
+                            100 + static_cast<int>(id % 16), now_,
+                            obs::causal::flow_id_load(array, 0));
         }
         flow_start_.erase(sit);
       }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/log.hpp"
+#include "obs/causal.hpp"
 #include "obs/trace.hpp"
 
 namespace dooc::storage {
@@ -273,6 +274,15 @@ void StorageNode::write_async(const Interval& iv, std::uint64_t tag) {
 
 void StorageNode::deliver(detail::ReadWaiter&& w, ReadHandle handle, std::exception_ptr error) {
   if (w.via_queue) {
+    if (obs::trace_enabled() && error == nullptr) {
+      // Completion-path delivery: the 't' point of the load flow the engine
+      // opened at read_async issue. Inline (resident) deliveries emit an
+      // orphan 't' with no matching 's' — viewers and the causal graph
+      // both drop those.
+      obs::emit_flow(obs::Phase::FlowStep, obs::intern("load"), obs::intern("deliver"), id_,
+                     obs::current_thread_lane(), obs::TraceClock::now_ns(),
+                     obs::causal::flow_id_load(w.iv.array, w.iv.offset));
+    }
     Completion c;
     c.tag = w.tag;
     c.read = std::move(handle);

@@ -2,22 +2,64 @@
 // (DOOC_TRACE=out.json, --trace-out, or TraceSession::start).
 //
 // Reports per-category (phase) time, the I/O-vs-compute overlap fraction —
-// the paper's headline metric — and the top-N slowest tasks.
+// the paper's headline metric — and the top-N slowest tasks. With flow
+// events in the trace, --critical-path / --blame / --what-if run the
+// obs::causal analysis; --metrics re-exports the trace's Counter samples
+// in Prometheus text format.
 //
 // Usage:  dooc_tracecat trace.json [--top=10] [--cat=task]
+//                       [--critical-path] [--blame] [--what-if=io:0]
+//                       [--metrics]
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "common/options.hpp"
+#include "obs/causal.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_reader.hpp"
 
 using namespace dooc;
 
+namespace {
+
+/// "--what-if=io:0" → ("io", 0.0). Returns false on a malformed value.
+bool parse_what_if(const std::string& spec, std::pair<std::string, double>& out) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  try {
+    out.first = spec.substr(0, colon);
+    out.second = std::stod(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+/// Rebuild a metrics snapshot from the trace's Counter ('C') samples: the
+/// last sample of each (name, node) series wins. Offline we cannot tell a
+/// counter from a gauge, so everything exports as a gauge.
+obs::MetricsSnapshot snapshot_from_trace(const std::vector<obs::ParsedEvent>& events) {
+  obs::MetricsSnapshot snap;
+  for (const auto& ev : events) {
+    if (ev.phase != 'C') continue;
+    const auto v = ev.args.find("value");
+    auto& e = snap.entries[obs::MetricsSnapshot::Key{ev.name, ev.pid}];
+    e.kind = obs::MetricKind::Gauge;
+    e.value = v != ev.args.end() ? v->second : 0.0;
+  }
+  return snap;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Options opts = Options::from_args(argc, argv);
   if (opts.positional().empty()) {
-    std::fprintf(stderr, "usage: dooc_tracecat <trace.json> [--top=10] [--cat=task]\n");
+    std::fprintf(stderr,
+                 "usage: dooc_tracecat <trace.json> [--top=10] [--cat=task]\n"
+                 "                     [--critical-path] [--blame] [--what-if=CAT:FACTOR]\n"
+                 "                     [--metrics]\n");
     return 2;
   }
   const std::string path = opts.positional().front();
@@ -77,6 +119,27 @@ int main(int argc, char** argv) {
     for (const auto& ev : top) {
       std::printf("  %10.3f ms  node %-3d %s\n", ev.dur_us * 1e-3, ev.pid, ev.name.c_str());
     }
+  }
+
+  const bool want_path = opts.contains("critical-path");
+  const bool want_blame = opts.contains("blame");
+  std::vector<std::pair<std::string, double>> what_ifs;
+  if (opts.contains("what-if")) {
+    std::pair<std::string, double> wi;
+    if (!parse_what_if(opts.get("what-if"), wi)) {
+      std::fprintf(stderr, "dooc_tracecat: --what-if wants CATEGORY:FACTOR (e.g. io:0)\n");
+      return 2;
+    }
+    what_ifs.push_back(std::move(wi));
+  }
+  if (want_path || want_blame || !what_ifs.empty()) {
+    const auto graph = obs::causal::CausalGraph::build(events);
+    std::printf("\n%s", obs::causal::causal_report(graph, want_path, want_blame, what_ifs).c_str());
+  }
+
+  if (opts.contains("metrics")) {
+    std::printf("\n== metrics (prometheus) ==\n%s",
+                snapshot_from_trace(events).to_prometheus().c_str());
   }
   return 0;
 }
