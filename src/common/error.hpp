@@ -35,6 +35,16 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A storage request failed permanently: the retry/failover policy was
+/// exhausted (transient I/O errors kept recurring, or every node that could
+/// serve the data is down). Distinct from IoError — which reports a single
+/// environmental failure — so the executor can route it into fault recovery
+/// instead of aborting.
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error(what) {}
+};
+
 /// Immutability violation: a write-once block was written twice, or read
 /// before being sealed. Kept distinct so tests can assert on it.
 class ImmutabilityViolation : public Error {

@@ -1,0 +1,227 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace dooc::fault {
+
+namespace {
+
+/// Mix (seed, node, kind, op-index) into one uniform draw. The op-index is
+/// the only moving part, so the schedule is a pure function of the plan.
+double draw(std::uint64_t seed, int node, bool is_read, std::uint64_t op) {
+  SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(node + 1) * 0x9e3779b97f4a7c15ull) ^
+                 (is_read ? 0x243f6a8885a308d3ull : 0x13198a2e03707344ull) ^
+                 (op * 0xa0761d6478bd642full));
+  return rng.next_double();
+}
+
+/// "5ms" / "250us" / "2s" / "1.5" (default ms) → seconds.
+double parse_duration_s(const std::string& text) {
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  const std::string unit = text.substr(pos);
+  if (unit.empty() || unit == "ms") return value * 1e-3;
+  if (unit == "ns") return value * 1e-9;
+  if (unit == "us") return value * 1e-6;
+  if (unit == "s") return value;
+  throw InvalidArgument("DOOC_FAULTS: unknown duration unit '" + unit + "'");
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::ReadError: return "read-error";
+    case FaultKind::WriteError: return "write-error";
+    case FaultKind::ShortRead: return "short-read";
+    case FaultKind::Latency: return "latency";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {
+  DOOC_REQUIRE(config_.read_error_rate >= 0.0 && config_.read_error_rate <= 1.0 &&
+                   config_.write_error_rate >= 0.0 && config_.write_error_rate <= 1.0 &&
+                   config_.short_read_rate >= 0.0 && config_.short_read_rate <= 1.0 &&
+                   config_.latency_rate >= 0.0 && config_.latency_rate <= 1.0,
+               "fault rates must lie in [0, 1]");
+}
+
+bool FaultPlan::enabled() const noexcept {
+  return config_.read_error_rate > 0.0 || config_.write_error_rate > 0.0 ||
+         config_.short_read_rate > 0.0 || config_.latency_rate > 0.0 ||
+         !config_.outages.empty();
+}
+
+FaultConfig FaultPlan::parse(const std::string& spec) {
+  FaultConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("DOOC_FAULTS: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        cfg.seed = std::stoull(value);
+      } else if (key == "read_error") {
+        cfg.read_error_rate = std::stod(value);
+      } else if (key == "write_error") {
+        cfg.write_error_rate = std::stod(value);
+      } else if (key == "short_read") {
+        cfg.short_read_rate = std::stod(value);
+      } else if (key == "latency") {
+        // P:DUR — probability and spike duration.
+        const std::size_t colon = value.find(':');
+        if (colon == std::string::npos) {
+          throw InvalidArgument("DOOC_FAULTS: latency wants P:DURATION, got '" + value + "'");
+        }
+        cfg.latency_rate = std::stod(value.substr(0, colon));
+        cfg.latency_s = parse_duration_s(value.substr(colon + 1));
+      } else if (key == "down") {
+        // NODE@AFTER[+OPS]
+        const std::size_t at = value.find('@');
+        if (at == std::string::npos) {
+          throw InvalidArgument("DOOC_FAULTS: down wants NODE@AFTER[+OPS], got '" + value + "'");
+        }
+        OutageSpec o;
+        o.node = std::stoi(value.substr(0, at));
+        const std::string rest = value.substr(at + 1);
+        const std::size_t plus = rest.find('+');
+        o.after_ops = std::stoull(rest.substr(0, plus));
+        if (plus != std::string::npos) o.duration_ops = std::stoull(rest.substr(plus + 1));
+        cfg.outages.push_back(o);
+      } else if (key == "retries") {
+        cfg.retry.max_attempts = std::stoi(value);
+      } else if (key == "backoff") {
+        // BASE:CAP durations.
+        const std::size_t colon = value.find(':');
+        if (colon == std::string::npos) {
+          throw InvalidArgument("DOOC_FAULTS: backoff wants BASE:CAP, got '" + value + "'");
+        }
+        cfg.retry.base_backoff_s = parse_duration_s(value.substr(0, colon));
+        cfg.retry.max_backoff_s = parse_duration_s(value.substr(colon + 1));
+      } else if (key == "deadline") {
+        cfg.retry.deadline_s = parse_duration_s(value);
+      } else {
+        throw InvalidArgument("DOOC_FAULTS: unknown key '" + key + "'");
+      }
+    } catch (const InvalidArgument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw InvalidArgument("DOOC_FAULTS: malformed value in '" + item + "'");
+    }
+  }
+  return cfg;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* p = std::getenv("DOOC_FAULTS");
+  if (p == nullptr || *p == '\0') return nullptr;
+  return std::make_shared<FaultPlan>(parse(p));
+}
+
+FaultPlan::NodeCursor& FaultPlan::cursor(int node) {
+  const auto idx = static_cast<std::size_t>(node < 0 ? 0 : node);
+  std::lock_guard lock(nodes_mutex_);
+  while (nodes_.size() <= idx) nodes_.push_back(std::make_unique<NodeCursor>());
+  return *nodes_[idx];
+}
+
+const FaultPlan::NodeCursor* FaultPlan::cursor_if(int node) const {
+  const auto idx = static_cast<std::size_t>(node < 0 ? 0 : node);
+  std::lock_guard lock(nodes_mutex_);
+  return idx < nodes_.size() ? nodes_[idx].get() : nullptr;
+}
+
+FaultDecision FaultPlan::decide(int node, bool is_read, std::uint64_t op) {
+  FaultDecision d;
+  const double u = draw(config_.seed, node, is_read, op);
+  // One draw, carved into disjoint probability bands so at most one fault
+  // fires per op and each band's schedule is independent of the others'
+  // rates being zero or not.
+  double edge = 0.0;
+  if (is_read) {
+    edge += config_.read_error_rate;
+    if (config_.read_error_rate > 0.0 && u < edge) {
+      d.action = FaultDecision::Action::Fail;
+      injected_[static_cast<int>(FaultKind::ReadError)].fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+    edge += config_.short_read_rate;
+    if (config_.short_read_rate > 0.0 && u < edge) {
+      d.action = FaultDecision::Action::ShortRead;
+      injected_[static_cast<int>(FaultKind::ShortRead)].fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+  } else {
+    edge += config_.write_error_rate;
+    if (config_.write_error_rate > 0.0 && u < edge) {
+      d.action = FaultDecision::Action::Fail;
+      injected_[static_cast<int>(FaultKind::WriteError)].fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+  }
+  edge += config_.latency_rate;
+  if (config_.latency_rate > 0.0 && u < edge) {
+    d.action = FaultDecision::Action::Delay;
+    d.delay_s = config_.latency_s;
+    injected_[static_cast<int>(FaultKind::Latency)].fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+FaultDecision FaultPlan::next_read(int node) {
+  if (!enabled()) return {};
+  const std::uint64_t op = cursor(node).ops.fetch_add(1, std::memory_order_relaxed);
+  return decide(node, /*is_read=*/true, op);
+}
+
+FaultDecision FaultPlan::next_write(int node) {
+  if (!enabled()) return {};
+  const std::uint64_t op = cursor(node).ops.fetch_add(1, std::memory_order_relaxed);
+  return decide(node, /*is_read=*/false, op);
+}
+
+bool FaultPlan::node_down(int node) const {
+  const NodeCursor* c = cursor_if(node);
+  if (c != nullptr && c->forced_down.load(std::memory_order_relaxed)) return true;
+  const std::uint64_t ops = c != nullptr ? c->ops.load(std::memory_order_relaxed) : 0;
+  for (const OutageSpec& o : config_.outages) {
+    if (o.node != node) continue;
+    if (ops < o.after_ops) continue;
+    if (o.duration_ops == UINT64_MAX || ops < o.after_ops + o.duration_ops) return true;
+  }
+  return false;
+}
+
+void FaultPlan::mark_down(int node) {
+  cursor(node).forced_down.store(true, std::memory_order_relaxed);
+  obs::Metrics::instance().counter("fault.node_down", node).add();
+}
+
+void FaultPlan::mark_up(int node) {
+  cursor(node).forced_down.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::ops_seen(int node) const {
+  const NodeCursor* c = cursor_if(node);
+  return c != nullptr ? c->ops.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t FaultPlan::injected(FaultKind k) const {
+  return injected_[static_cast<int>(k)].load(std::memory_order_relaxed);
+}
+
+}  // namespace dooc::fault

@@ -1,0 +1,70 @@
+// Retry policy for transient storage failures: capped exponential backoff
+// plus a per-request deadline.
+//
+// The policy itself is plain data and the backoff computation is a pure
+// function, so tests drive it with a fake clock and assert the exact delay
+// sequence. RetryBudget is the per-request cursor the I/O and fetch paths
+// keep while a request is being retried; it takes `now` as a parameter
+// instead of reading a clock so the same code runs under wall time (engine)
+// and virtual time (DES, fake-clock tests).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dooc::fault {
+
+struct RetryPolicy {
+  /// Total tries per request, including the first (1 = no retries).
+  int max_attempts = 4;
+  double base_backoff_s = 0.001;  ///< delay before the first retry
+  double max_backoff_s = 0.100;   ///< cap for the exponential growth
+  /// Give up when the request has been in flight this long, even with
+  /// attempts remaining (0 = no deadline).
+  double deadline_s = 10.0;
+};
+
+/// Backoff before retry number `retry` (1-based): base * 2^(retry-1),
+/// capped. retry <= 0 yields 0.
+[[nodiscard]] inline double backoff_delay_s(const RetryPolicy& p, int retry) noexcept {
+  if (retry <= 0) return 0.0;
+  double d = p.base_backoff_s;
+  for (int i = 1; i < retry && d < p.max_backoff_s; ++i) d *= 2.0;
+  return std::min(d, p.max_backoff_s);
+}
+
+/// Per-request retry cursor: counts attempts and enforces the deadline.
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  RetryBudget(RetryPolicy policy, double start_s) : policy_(policy), start_s_(start_s) {}
+
+  /// Record a failed attempt at time `now_s`. Returns true when the policy
+  /// allows another try; the caller should then wait next_backoff_s().
+  [[nodiscard]] bool try_again(double now_s) noexcept {
+    ++failures_;
+    if (failures_ >= policy_.max_attempts) return false;
+    if (policy_.deadline_s > 0.0 && now_s - start_s_ >= policy_.deadline_s) return false;
+    return true;
+  }
+
+  /// Backoff to wait before the attempt after the most recent failure,
+  /// clipped so the wait never overruns the deadline.
+  [[nodiscard]] double next_backoff_s(double now_s) const noexcept {
+    double d = backoff_delay_s(policy_, failures_);
+    if (policy_.deadline_s > 0.0) {
+      d = std::min(d, std::max(0.0, start_s_ + policy_.deadline_s - now_s));
+    }
+    return d;
+  }
+
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  double start_s_ = 0.0;
+  int failures_ = 0;
+};
+
+}  // namespace dooc::fault

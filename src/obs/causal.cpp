@@ -67,8 +67,16 @@ CausalGraph CausalGraph::build(const std::vector<ParsedEvent>& events) {
 
   // ---- span nodes -----------------------------------------------------------
   std::unordered_map<std::int64_t, std::size_t> task_node;
+  std::map<int, std::vector<std::pair<double, double>>> fault_iv;
   for (const auto& ev : events) {
     if (ev.phase != 'X') continue;
+    if (ev.cat == "fault") {
+      // Retry-backoff / injected-latency intervals are not nodes of the DAG
+      // (the enclosing load already is); they are remembered so Load-node
+      // blame can attribute the slice of I/O time the fault machinery ate.
+      fault_iv[ev.pid].emplace_back(ev.ts_us, ev.ts_us + ev.dur_us);
+      continue;
+    }
     CausalNode n;
     if (ev.cat == "task") {
       n.kind = NodeKind::Compute;
@@ -225,12 +233,19 @@ CausalGraph CausalGraph::build(const std::vector<ParsedEvent>& events) {
     }
     for (auto& [pid, iv] : busy) g.compute_busy_[pid] = merge_intervals(std::move(iv));
   }
+  for (auto& [pid, iv] : fault_iv) g.fault_busy_[pid] = merge_intervals(std::move(iv));
   return g;
 }
 
 double CausalGraph::shadowed_us(const CausalNode& n) const {
   const auto it = compute_busy_.find(n.pid);
   if (it == compute_busy_.end()) return 0.0;
+  return overlap_with(n.start_us, n.end_us, it->second);
+}
+
+double CausalGraph::fault_us(const CausalNode& n) const {
+  const auto it = fault_busy_.find(n.pid);
+  if (it == fault_busy_.end()) return 0.0;
   return overlap_with(n.start_us, n.end_us, it->second);
 }
 
@@ -246,8 +261,14 @@ std::vector<PathSegment> CausalGraph::critical_path() const {
   for (std::size_t hops = 0; hops <= nodes_.size(); ++hops) {
     const CausalNode& n = nodes_[cur];
     if (n.kind == NodeKind::Load) {
+      // Fault machinery (backoff sleeps, injected latency) takes precedence
+      // over the demand/shadowed split: that slice of the load exists only
+      // because something misbehaved. The splits may overlap (a backoff can
+      // be compute-shadowed), so the demand remainder is clamped at zero.
+      const double fl = fault_us(n);
       const double sh = shadowed_us(n);
-      const double demand = n.dur_us() - sh;
+      const double demand = std::max(0.0, n.dur_us() - sh - fl);
+      if (fl > 0.0) path.push_back({cur, kBlameFault, fl});
       if (sh > 0.0) path.push_back({cur, kBlamePrefetchIo, sh});
       if (demand > 0.0) path.push_back({cur, kBlameDemandIo, demand});
     } else if (n.dur_us() > 0.0) {

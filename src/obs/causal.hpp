@@ -50,6 +50,11 @@ inline constexpr const char* kBlameDemandIo = "demand-io";
 inline constexpr const char* kBlamePrefetchIo = "prefetch-io";
 inline constexpr const char* kBlameSchedWait = "sched-wait";
 inline constexpr const char* kBlameStreamStall = "stream-stall";
+/// Load time spent inside fault-injection machinery (retry backoff sleeps,
+/// injected latency spikes — the cat "fault" spans): I/O that only exists
+/// because something misbehaved, split out so a faulty run's blame shows
+/// *why* its demand-io grew.
+inline constexpr const char* kBlameFault = "fault";
 
 enum class NodeKind : std::uint8_t {
   Compute,  ///< 'X' cat "task"
@@ -135,11 +140,16 @@ class CausalGraph {
   /// interval overlapped by compute on the same pid was hidden (prefetch-
   /// shadowed); the rest stalled the node (demand).
   [[nodiscard]] double shadowed_us(const CausalNode& n) const;
+  /// Part of a Load node's interval overlapped by fault machinery (cat
+  /// "fault" spans: retry backoff, injected latency) on the same pid.
+  [[nodiscard]] double fault_us(const CausalNode& n) const;
 
   std::vector<CausalNode> nodes_;
   /// Per-pid union of Compute intervals, merged and sorted (for the
   /// demand/shadowed split).
   std::map<int, std::vector<std::pair<double, double>>> compute_busy_;
+  /// Per-pid union of cat "fault" span intervals (for the fault split).
+  std::map<int, std::vector<std::pair<double, double>>> fault_busy_;
   double min_start_us_ = 0.0;
   double max_end_us_ = 0.0;
 };

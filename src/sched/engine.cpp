@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,12 +36,26 @@ storage::StorageStats delta(const storage::StorageStats& after, const storage::S
   return d;
 }
 
-/// Completion tag layout: | epoch:16 | task:32 | input index:16 |. The epoch
-/// lets a later run() discard completions a previous (aborted) run left in
-/// the queue.
-std::uint64_t make_tag(std::uint64_t epoch, TaskId t, std::size_t input_index) {
+/// Completion tag layout: | epoch:16 | task:32 | attempt:4 | input:12 |.
+/// The epoch lets a later run() discard completions a previous (aborted)
+/// run left in the queue; the attempt nibble lets the fault path discard
+/// completions of a staging that was already torn down by a retry — without
+/// it, a straggler read of attempt N could double-count an input of
+/// attempt N+1 and promote the task to Runnable with loads still in flight.
+std::uint64_t make_tag(std::uint64_t epoch, TaskId t, int attempt, std::size_t input_index) {
   return ((epoch & 0xFFFFull) << 48) | (static_cast<std::uint64_t>(t) << 16) |
-         (input_index & 0xFFFFull);
+         ((static_cast<std::uint64_t>(attempt) & 0xFull) << 12) | (input_index & 0xFFFull);
+}
+
+/// what() of a stored exception, for the structured failure summary.
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
 }
 
 void emit_reorder(int node, const StageDecision& d) {
@@ -63,6 +78,19 @@ void emit_reorder(int node, const StageDecision& d) {
 
 }  // namespace
 
+std::string FaultSummary::to_text() const {
+  std::string out = "fault summary: " + std::to_string(failed.size()) + " failed, " +
+                    std::to_string(poisoned) + " poisoned, " + std::to_string(load_faults) +
+                    " load fault(s), " + std::to_string(task_retries) + " task retry(ies), " +
+                    std::to_string(producer_reruns) + " producer rerun(s)";
+  for (const FaultRecord& r : failed) {
+    out += "\n  task " + std::to_string(r.task) + " '" + r.name + "' on node " +
+           std::to_string(r.node) + " after " + std::to_string(r.retries) +
+           " retry(ies): " + r.error;
+  }
+  return out;
+}
+
 /// Handles a staged task carries while it is InputsPending: the slots its
 /// read completions fill, plus what the trace needs to know about the wait.
 struct Engine::Staged {
@@ -84,6 +112,9 @@ struct Engine::NodeState {
   obs::Histogram* m_wait = nullptr;     ///< sched.inputs_pending_us
   obs::Counter* m_parked = nullptr;     ///< sched.tasks_parked
   obs::Gauge* m_cq_depth = nullptr;     ///< sched.completion_queue_depth
+  obs::Counter* m_load_faults = nullptr;     ///< sched.load_faults
+  obs::Counter* m_task_retries = nullptr;    ///< sched.task_retries
+  obs::Counter* m_producer_reruns = nullptr; ///< sched.producer_reruns
 };
 
 /// ExecutorCore's view of this engine's storage residency.
@@ -141,7 +172,7 @@ void Engine::wake_all() {
   }
 }
 
-bool Engine::drain_completions(NodeState& ns) {
+bool Engine::drain_completions(NodeState& ns, std::vector<int>& wakes) {
   auto& queue = cluster_.node(ns.node).completions();
   if (ns.m_cq_depth != nullptr) ns.m_cq_depth->set(static_cast<double>(queue.depth()));
   const bool tracing = obs::trace_enabled();
@@ -150,16 +181,27 @@ bool Engine::drain_completions(NodeState& ns) {
   while (queue.pop(c)) {
     if ((c.tag >> 48) != (run_epoch_ & 0xFFFFull)) continue;  // stale run's read
     const auto t = static_cast<TaskId>((c.tag >> 16) & 0xFFFFFFFFull);
+    // Straggler from a staging the fault path already tore down: dropping
+    // it releases its pin at the queue boundary; counting it would corrupt
+    // the current attempt's input accounting.
+    if (fault_tolerant_ &&
+        static_cast<int>((c.tag >> 12) & 0xFull) != (core_->retries(t) & 0xF)) {
+      continue;
+    }
     if (c.error) {
-      record_error(c.error);
-      abort_.store(true);
-      ok = false;
+      if (!fault_tolerant_) {
+        record_error(c.error);
+        abort_.store(true);
+        ok = false;
+        continue;
+      }
+      handle_load_fault(ns, t, c.error, wakes);
       continue;
     }
     auto it = ns.staged.find(t);
     if (it == ns.staged.end()) continue;
     Staged& st = it->second;
-    const auto idx = static_cast<std::size_t>(c.tag & 0xFFFFull);
+    const auto idx = static_cast<std::size_t>(c.tag & 0xFFFull);
     if (idx < st.inputs.size()) st.inputs[idx] = std::move(c.read);
     if (core_->note_input(t) && !st.resident_at_stage) {
       // The InputsPending wait is over: the span from stage to last input.
@@ -198,6 +240,131 @@ bool Engine::drain_completions(NodeState& ns) {
     }
   }
   return ok;
+}
+
+void Engine::handle_load_fault(NodeState& ns, TaskId t, const std::exception_ptr& err,
+                               std::vector<int>& wakes) {
+  if (ns.m_load_faults != nullptr) ns.m_load_faults->add();
+  {
+    std::lock_guard flock(fault_mutex_);
+    ++faults_.load_faults;
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant(obs::intern("fault"), obs::intern("load-failed"), ns.node, 0);
+  }
+  // A load only fails permanently once the I/O filters exhausted the
+  // retry/backoff policy, so first check whether an input is genuinely
+  // *lost* (its only copies on downed nodes, nothing durable) and re-derive
+  // it by re-running the Done producer before this task retries.
+  maybe_resurrect_producers(ns, t, wakes);
+  std::vector<TaskId> poisoned;
+  const ExecutorCore::FaultAction action = core_->fault(t, &poisoned);
+  if (action == ExecutorCore::FaultAction::Ignored) return;
+  // Drop the partial staging: surviving read handles release their pins.
+  ns.staged.erase(t);
+  if (action == ExecutorCore::FaultAction::Retry) {
+    if (ns.m_task_retries != nullptr) ns.m_task_retries->add();
+    std::lock_guard flock(fault_mutex_);
+    ++faults_.task_retries;
+    return;
+  }
+  // Poisoned: this task and its transitive successors will never run. The
+  // run keeps draining everything else — graceful degradation, not abort.
+  FaultRecord rec;
+  rec.task = t;
+  rec.name = graph_->task(t).name;
+  rec.node = ns.node;
+  rec.retries = core_->retries(t) - 1;
+  rec.error = describe(err);
+  DOOC_LOG(Warn, "engine") << "task " << t << " '" << rec.name << "' poisoned after "
+                           << rec.retries << " retries: " << rec.error;
+  {
+    std::lock_guard flock(fault_mutex_);
+    faults_.failed.push_back(std::move(rec));
+    faults_.poisoned += poisoned.empty() ? 0 : poisoned.size() - 1;
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant(obs::intern("fault"), obs::intern("task-poisoned"), ns.node, 0);
+  }
+  if (core_->all_settled()) {
+    // Poisoning settled the run: fan the wake out to every node so parked
+    // workers notice (the usual fan-out lives in complete(), which a
+    // poisoned task never reaches).
+    for (int n = 0; n < cluster_.num_nodes(); ++n) wakes.push_back(n);
+  }
+}
+
+void Engine::maybe_resurrect_producers(NodeState& ns, TaskId t, std::vector<int>& wakes) {
+  const Task& task = graph_->task(t);
+  for (const auto& in : task.inputs) {
+    const TaskId p = graph_->writer_of(in);
+    if (p == kInvalidTask) continue;                   // pre-existing input
+    if (core_->state(p) != TaskState::Done) continue;  // queued / rerunning / poisoned
+    if (!block_lost(in)) continue;                     // still reachable: plain retry suffices
+    // Forget *every* output block of the producer, not just the lost one —
+    // the arrays are write-once, so a partial rewrite would trip
+    // immutability on the surviving blocks.
+    if (!forget_outputs(p)) continue;  // some block still live → not actually lost
+    if (!core_->resurrect(p)) continue;
+    if (ns.m_producer_reruns != nullptr) ns.m_producer_reruns->add();
+    {
+      std::lock_guard flock(fault_mutex_);
+      ++faults_.producer_reruns;
+    }
+    DOOC_LOG(Warn, "engine") << "re-running task " << p << " to re-derive lost block(s) of '"
+                             << in.array << "'";
+    if (obs::trace_enabled()) {
+      obs::emit_instant(obs::intern("fault"), obs::intern("producer-rerun"), assignment_[p], 0);
+    }
+    wakes.push_back(assignment_[p]);
+  }
+}
+
+bool Engine::block_lost(const storage::Interval& in) const {
+  const fault::FaultPlan* plan = cluster_.fault_plan().get();
+  auto& shard = cluster_.catalog().shard_for(in.array);
+  const std::optional<storage::ArrayMeta> meta = shard.find(in.array);
+  if (!meta || meta->block_size == 0) return false;
+  const storage::BlockInfo info =
+      shard.block_info(storage::BlockKey{in.array, in.offset / meta->block_size});
+  // Durable blocks are never lost: the scratch file outlives the node
+  // process (the paper's shared GPFS tier), so a demand read or the
+  // home-down failover path can always re-load them.
+  if (info.durable) return false;
+  const auto up = [plan](int node) { return plan == nullptr || !plan->node_down(node); };
+  for (const int holder : info.holders) {
+    if (up(holder)) return false;  // a live in-memory copy exists
+  }
+  return true;
+}
+
+bool Engine::forget_outputs(TaskId p) {
+  const Task& task = graph_->task(p);
+  for (const auto& out : task.outputs) {
+    auto& shard = cluster_.catalog().shard_for(out.array);
+    const std::optional<storage::ArrayMeta> meta = shard.find(out.array);
+    if (!meta || meta->block_size == 0) continue;
+    const std::uint64_t first = out.offset / meta->block_size;
+    const std::uint64_t last = out.length == 0 ? first : (out.end() - 1) / meta->block_size;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      if (!cluster_.forget_block(storage::BlockKey{out.array, b})) return false;
+    }
+  }
+  return true;
+}
+
+void Engine::notify_nodes(std::vector<int>& nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const int node : nodes) {
+    NodeState& other = *node_states_[static_cast<std::size_t>(node)];
+    {
+      std::lock_guard lock(other.mutex);
+      ++other.wake_seq;
+    }
+    other.cv.notify_all();
+  }
+  nodes.clear();
 }
 
 void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
@@ -248,6 +415,9 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
   // ns.mutex, so the reads must be issued with it released.
   lock.unlock();
   for (const Plan& p : plans) {
+    // The staging attempt tags the reads so a retry can tell this
+    // staging's completions from a torn-down predecessor's stragglers.
+    const int attempt = fault_tolerant_ ? (core_->retries(p.task) & 0xF) : 0;
     for (std::size_t i = 0; i < p.def->inputs.size(); ++i) {
       const auto& in = p.def->inputs[i];
       if (tracing && i < p.missing.size() && p.missing[i] != 0) {
@@ -258,7 +428,7 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
                        obs::causal::flow_id_load(in.array, in.offset));
       }
       try {
-        storage_node.read_async(in, make_tag(run_epoch_, p.task, i));
+        storage_node.read_async(in, make_tag(run_epoch_, p.task, attempt, i));
       } catch (...) {
         record_error(std::current_exception());
         abort_.store(true);
@@ -415,7 +585,7 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
 void Engine::complete(TaskId t) {
   std::vector<std::pair<int, TaskId>> newly_assigned;
   core_->finish(t, newly_assigned);
-  if (core_->all_done()) {
+  if (core_->all_settled()) {
     wake_all();
     return;
   }
@@ -436,6 +606,7 @@ void Engine::complete(TaskId t) {
 }
 
 void Engine::worker_loop(NodeState& ns, int slot) {
+  std::vector<int> wakes;
   while (true) {
     TaskId t = kInvalidTask;
     Staged staged;
@@ -443,12 +614,20 @@ void Engine::worker_loop(NodeState& ns, int slot) {
       std::unique_lock lock(ns.mutex);
       while (true) {
         if (abort_.load()) return;
-        if (!drain_completions(ns)) {
+        if (!drain_completions(ns, wakes)) {
           lock.unlock();
           wake_all();
           return;
         }
-        if (core_->all_done()) return;
+        if (!wakes.empty()) {
+          // Fault handling resurrected producers on other nodes or settled
+          // the run: notify them with no lock held, then re-drain.
+          lock.unlock();
+          notify_nodes(wakes);
+          lock.lock();
+          continue;
+        }
+        if (core_->all_settled()) return;
         stage_tasks(ns, lock);
         if (abort_.load()) {
           lock.unlock();
@@ -456,16 +635,22 @@ void Engine::worker_loop(NodeState& ns, int slot) {
           return;
         }
         // Reads issued while unlocked may have completed inline already.
-        if (!drain_completions(ns)) {
+        if (!drain_completions(ns, wakes)) {
           lock.unlock();
           wake_all();
           return;
+        }
+        if (!wakes.empty()) {
+          lock.unlock();
+          notify_nodes(wakes);
+          lock.lock();
+          continue;
         }
         t = core_->take_runnable(ns.node);
         if (t != kInvalidTask) break;
         const std::uint64_t seen = ns.wake_seq;
         ns.cv.wait(lock, [&] {
-          return ns.wake_seq != seen || abort_.load() || core_->all_done();
+          return ns.wake_seq != seen || abort_.load() || core_->all_settled();
         });
       }
       auto it = ns.staged.find(t);
@@ -491,9 +676,9 @@ void Engine::worker_loop_blocking(NodeState& ns, int slot) {
     {
       std::unique_lock lock(ns.mutex);
       ns.cv.wait(lock, [&] {
-        return abort_.load() || core_->all_done() || core_->backlog(ns.node) > 0;
+        return abort_.load() || core_->all_settled() || core_->backlog(ns.node) > 0;
       });
-      if (abort_.load() || core_->all_done()) return;
+      if (abort_.load() || core_->all_settled()) return;
       const StageDecision d = core_->take_direct(ns.node);
       if (d.task == kInvalidTask) continue;
       if (obs::trace_enabled() && d.reordered) emit_reorder(ns.node, d);
@@ -519,6 +704,14 @@ Report Engine::run(TaskGraph& graph) {
   first_error_ = nullptr;
   trace_.clear();
   ++run_epoch_;
+  // Blocking-io mode keeps the legacy abort-on-error path: its reads block
+  // on futures inside execute(), never reaching the completion-queue fault
+  // handling (the I/O filters still retry transient errors underneath).
+  fault_tolerant_ = cluster_.fault_plan() != nullptr && !config_.blocking_io;
+  {
+    std::lock_guard flock(fault_mutex_);
+    faults_ = {};
+  }
 
   const storage::StorageStats stats_before = cluster_.total_stats();
   const std::uint64_t cross_before =
@@ -545,6 +738,9 @@ Report Engine::run(TaskGraph& graph) {
     ns->m_wait = &metrics.histogram("sched.inputs_pending_us", n);
     ns->m_parked = &metrics.counter("sched.tasks_parked", n);
     ns->m_cq_depth = &metrics.gauge("sched.completion_queue_depth", n);
+    ns->m_load_faults = &metrics.counter("sched.load_faults", n);
+    ns->m_task_retries = &metrics.counter("sched.task_retries", n);
+    ns->m_producer_reruns = &metrics.counter("sched.producer_reruns", n);
     node_states_.push_back(std::move(ns));
   }
 
@@ -596,23 +792,36 @@ Report Engine::run(TaskGraph& graph) {
   Report report;
   report.makespan = clock_.seconds();
   graph_ = nullptr;
-  const bool all_done = core_->all_done();
+  const bool settled = core_->all_settled();
+  const std::size_t done = core_->completed();
+  const std::vector<TaskId> faulted = core_->faulted_tasks();
   // Destroying NodeStates releases read pins a staged-but-never-run task
   // still holds (abort path).
   node_states_.clear();
   core_.reset();
 
   if (first_error_) std::rethrow_exception(first_error_);
-  DOOC_CHECK(all_done, "engine finished without completing all tasks");
+  DOOC_CHECK(settled, "engine finished without settling all tasks");
 
-  report.tasks_executed = graph.size();
-  for (TaskId t = 0; t < graph.size(); ++t) report.total_flops += graph.task(t).est_flops;
+  report.tasks_executed = done;
+  std::vector<std::uint8_t> is_faulted(graph.size(), 0);
+  for (const TaskId t : faulted) is_faulted[t] = 1;
+  for (TaskId t = 0; t < graph.size(); ++t) {
+    if (is_faulted[t] == 0) report.total_flops += graph.task(t).est_flops;
+  }
   report.assignment = assignment_;
   report.trace = std::move(trace_);
   report.storage = delta(cluster_.total_stats(), stats_before);
   report.cross_node_bytes =
       (cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0) -
       cross_before;
+  {
+    std::lock_guard flock(fault_mutex_);
+    report.faults = faults_;
+  }
+  if (!report.faults.ok()) {
+    DOOC_LOG(Warn, "engine") << report.faults.to_text();
+  }
   return report;
 }
 

@@ -89,6 +89,31 @@ struct TraceEvent {
   std::uint64_t missing_bytes = 0;  ///< input bytes that had to be loaded/fetched
 };
 
+/// One task whose input loads failed permanently (retry budget exhausted).
+struct FaultRecord {
+  TaskId task = kInvalidTask;
+  std::string name;
+  int node = -1;
+  int retries = 0;    ///< re-queues performed before giving up
+  std::string error;  ///< what() of the final load failure
+};
+
+/// Structured failure report of a fault-tolerant run. With a FaultPlan
+/// installed the engine does not abort on a permanent storage error: it
+/// drains every still-runnable task and reports what could not be computed
+/// — graceful degradation instead of a crash.
+struct FaultSummary {
+  std::vector<FaultRecord> failed;  ///< tasks whose retry budget ran out
+  std::uint64_t poisoned = 0;       ///< successors skipped because an ancestor failed
+  std::uint64_t load_faults = 0;    ///< permanent load failures reported by storage
+  std::uint64_t task_retries = 0;   ///< task re-queues after a load fault
+  std::uint64_t producer_reruns = 0;///< Done producers re-run to re-derive lost blocks
+
+  /// Every task ran to completion (retries and reruns may still be > 0).
+  [[nodiscard]] bool ok() const noexcept { return failed.empty() && poisoned == 0; }
+  [[nodiscard]] std::string to_text() const;
+};
+
 struct Report {
   double makespan = 0.0;  ///< seconds
   std::uint64_t tasks_executed = 0;
@@ -97,6 +122,7 @@ struct Report {
   std::vector<TraceEvent> trace;      ///< empty unless record_trace
   storage::StorageStats storage;      ///< cluster-wide delta over the run
   std::uint64_t cross_node_bytes = 0; ///< transport delta over the run
+  FaultSummary faults;                ///< empty/ok unless a FaultPlan was active
 
   [[nodiscard]] double gflops() const {
     return makespan > 0 ? total_flops / makespan * 1e-9 : 0.0;
@@ -111,7 +137,11 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Execute the graph to completion. Throws the first task/storage error.
+  /// Execute the graph. Without a fault plan (and in blocking-io mode) the
+  /// first task/storage error is rethrown. With the cluster's FaultPlan
+  /// installed, permanent load failures instead retry / re-derive / poison
+  /// per the recovery policy and the run drains, reporting the damage in
+  /// Report::faults.
   Report run(TaskGraph& graph);
 
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
@@ -124,8 +154,27 @@ class Engine {
   void worker_loop(NodeState& ns, int slot);
   void worker_loop_blocking(NodeState& ns, int slot);
   /// Drain the node's storage completion queue into the core; returns false
-  /// when a completion carried an error (run must abort). ns.mutex held.
-  bool drain_completions(NodeState& ns);
+  /// when a completion carried an error and the run must abort (legacy,
+  /// plan-less behaviour). In fault-tolerant mode errors route into
+  /// handle_load_fault instead and nodes that gained work (resurrected
+  /// producers, settle fan-out) are appended to `wakes` for the caller to
+  /// notify once ns.mutex is released. ns.mutex held.
+  bool drain_completions(NodeState& ns, std::vector<int>& wakes);
+  /// A staged task's input load failed permanently (the I/O filters already
+  /// exhausted the retry/backoff policy). Re-derives lost blocks, then asks
+  /// the core to retry or poison the task. ns.mutex held.
+  void handle_load_fault(NodeState& ns, TaskId t, const std::exception_ptr& err,
+                         std::vector<int>& wakes);
+  /// Re-queue Done producers of `t`'s inputs whose write-once output blocks
+  /// are genuinely lost (no live holder, no durable copy). ns.mutex held.
+  void maybe_resurrect_producers(NodeState& ns, TaskId t, std::vector<int>& wakes);
+  [[nodiscard]] bool block_lost(const storage::Interval& in) const;
+  /// Purge every output block of `p` cluster-wide so a re-run may rewrite
+  /// them; false when some block is still live (pinned / awaited).
+  bool forget_outputs(TaskId p);
+  /// Bump + notify each listed node's wake counter, then clear the list.
+  /// Must be called with no ns.mutex held.
+  void notify_nodes(std::vector<int>& nodes);
   /// Stage policy-picked tasks (resident first, then missing up to the
   /// window) and issue their async reads. ns.mutex held via `lock`; the
   /// reads themselves are issued with it released.
@@ -151,6 +200,11 @@ class Engine {
   std::unique_ptr<ExecutorCore> core_;
   std::vector<std::unique_ptr<NodeState>> node_states_;
   std::uint64_t run_epoch_ = 0;  ///< tags completions; stale runs are dropped
+  /// The cluster has a FaultPlan and we run completion-driven: storage
+  /// errors go through the recovery policy instead of aborting.
+  bool fault_tolerant_ = false;
+  std::mutex fault_mutex_;
+  FaultSummary faults_;  ///< guarded by fault_mutex_
   std::atomic<bool> abort_{false};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

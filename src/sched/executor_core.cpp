@@ -24,6 +24,7 @@ const char* to_string(TaskState s) {
     case TaskState::Runnable: return "runnable";
     case TaskState::Running: return "running";
     case TaskState::Done: return "done";
+    case TaskState::Faulted: return "faulted";
   }
   return "?";
 }
@@ -40,6 +41,8 @@ ExecutorCore::ExecutorCore(const TaskGraph& graph, std::vector<int> assignment, 
   states_.assign(graph.size(), TaskState::Waiting);
   deps_.resize(graph.size());
   missing_.assign(graph.size(), 0);
+  retries_.assign(graph.size(), 0);
+  rerun_.assign(graph.size(), 0);
   nodes_.resize(static_cast<std::size_t>(num_nodes));
   for (TaskId t = 0; t < graph.size(); ++t) {
     deps_[t] = static_cast<int>(graph.predecessors(t).size());
@@ -58,6 +61,25 @@ std::size_t ExecutorCore::completed() const {
 bool ExecutorCore::all_done() const {
   std::lock_guard lock(mutex_);
   return completed_ == graph_->size();
+}
+
+bool ExecutorCore::all_settled() const {
+  std::lock_guard lock(mutex_);
+  return completed_ + faulted_ == graph_->size();
+}
+
+std::vector<TaskId> ExecutorCore::faulted_tasks() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < states_.size(); ++t) {
+    if (states_[t] == TaskState::Faulted) out.push_back(t);
+  }
+  return out;
+}
+
+int ExecutorCore::retries(TaskId t) const {
+  std::lock_guard lock(mutex_);
+  return retries_[t];
 }
 
 TaskState ExecutorCore::state(TaskId t) const {
@@ -294,14 +316,64 @@ void ExecutorCore::finish(TaskId t, std::vector<std::pair<int, TaskId>>& newly_a
   states_[t] = TaskState::Done;
   --nodes_[static_cast<std::size_t>(assignment_[t])].running;
   ++completed_;
+  if (rerun_[t] != 0) {
+    // Resurrected producer: its successors' dependencies were decremented on
+    // the first run; only the rewritten blocks matter this time.
+    rerun_[t] = 0;
+    return;
+  }
   for (TaskId s : graph_->successors(t)) {
-    if (--deps_[s] == 0) {
+    if (--deps_[s] == 0 && states_[s] == TaskState::Waiting) {
       states_[s] = TaskState::Assigned;
       const int node = assignment_[s];
       nodes_[static_cast<std::size_t>(node)].assigned.push_back(s);
       newly_assigned.emplace_back(node, s);
     }
   }
+}
+
+ExecutorCore::FaultAction ExecutorCore::fault(TaskId t, std::vector<TaskId>* poisoned) {
+  std::lock_guard lock(mutex_);
+  if (states_[t] != TaskState::InputsPending) return FaultAction::Ignored;  // stale report
+  auto& nq = nodes_[static_cast<std::size_t>(assignment_[t])];
+  erase_value(nq.pending, t);
+  missing_[t] = 0;
+  if (++retries_[t] <= config_.max_task_retries) {
+    states_[t] = TaskState::Assigned;
+    nq.assigned.push_back(t);
+    return FaultAction::Retry;
+  }
+  poison_locked(t, poisoned);
+  return FaultAction::Poisoned;
+}
+
+void ExecutorCore::poison_locked(TaskId t, std::vector<TaskId>* poisoned) {
+  // The failed task and every transitive successor will never run: mark
+  // them Faulted (settled). Successors of a non-Done task are necessarily
+  // still Waiting (their dependencies cannot all be Done), so no queue
+  // entries need removing beyond t's own, handled by the caller.
+  std::vector<TaskId> stack{t};
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    if (states_[cur] == TaskState::Faulted) continue;
+    states_[cur] = TaskState::Faulted;
+    ++faulted_;
+    if (poisoned != nullptr) poisoned->push_back(cur);
+    for (TaskId s : graph_->successors(cur)) {
+      if (states_[s] != TaskState::Done && states_[s] != TaskState::Faulted) stack.push_back(s);
+    }
+  }
+}
+
+bool ExecutorCore::resurrect(TaskId t) {
+  std::lock_guard lock(mutex_);
+  if (states_[t] != TaskState::Done) return false;
+  rerun_[t] = 1;
+  states_[t] = TaskState::Assigned;
+  --completed_;
+  nodes_[static_cast<std::size_t>(assignment_[t])].assigned.push_back(t);
+  return true;
 }
 
 }  // namespace dooc::sched

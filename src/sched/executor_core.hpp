@@ -38,7 +38,18 @@
 
 namespace dooc::sched {
 
-enum class TaskState : std::uint8_t { Waiting, Assigned, InputsPending, Runnable, Running, Done };
+enum class TaskState : std::uint8_t {
+  Waiting,
+  Assigned,
+  InputsPending,
+  Runnable,
+  Running,
+  Done,
+  /// The task's input loads failed permanently and its retry budget is
+  /// exhausted (or an ancestor's was): it will never run. Faulted tasks are
+  /// *settled* — the engine drains instead of hanging or aborting.
+  Faulted,
+};
 
 [[nodiscard]] const char* to_string(TaskState s);
 
@@ -61,6 +72,9 @@ struct CoreConfig {
   /// always demand-stage something; the DES passes 0 — its old scheduler
   /// never demand-staged beyond the window).
   int demand_slots = 0;
+  /// How many times a task whose input load failed permanently is re-queued
+  /// (fault() → Assigned) before it is poisoned.
+  int max_task_retries = 3;
 };
 
 /// Which class of Assigned candidates next_to_stage may return.
@@ -90,6 +104,12 @@ class ExecutorCore {
   [[nodiscard]] std::size_t total() const noexcept { return graph_->size(); }
   [[nodiscard]] std::size_t completed() const;
   [[nodiscard]] bool all_done() const;
+  /// Every task is Done or Faulted — nothing will ever run again. This is
+  /// the graceful-degradation drain condition: equals all_done() while no
+  /// task has faulted.
+  [[nodiscard]] bool all_settled() const;
+  [[nodiscard]] std::vector<TaskId> faulted_tasks() const;
+  [[nodiscard]] int retries(TaskId t) const;
   [[nodiscard]] TaskState state(TaskId t) const;
   [[nodiscard]] std::size_t backlog(int node) const;   ///< Assigned count
   [[nodiscard]] std::size_t pending(int node) const;   ///< InputsPending count
@@ -126,6 +146,23 @@ class ExecutorCore {
   /// Assigned and are reported as (node, task) in `newly_assigned`.
   void finish(TaskId t, std::vector<std::pair<int, TaskId>>& newly_assigned);
 
+  // ---- fault recovery ----------------------------------------------------
+  /// What fault() decided for a task whose input load failed permanently.
+  enum class FaultAction {
+    Ignored,   ///< stale report (the task was not InputsPending)
+    Retry,     ///< re-queued to Assigned; the backend should re-stage it
+    Poisoned,  ///< retry budget exhausted: task + transitive successors Faulted
+  };
+  /// Report a permanent input-load failure of a staged task. Retries move
+  /// the task back to Assigned up to max_task_retries times; past that the
+  /// task and every transitive successor become Faulted (appended to
+  /// `poisoned`, the failed task first).
+  FaultAction fault(TaskId t, std::vector<TaskId>* poisoned);
+  /// Lost-block recovery: re-queue a Done producer so it re-derives its
+  /// write-once outputs. finish() of the re-run does NOT re-decrement
+  /// successor dependencies. False when the task is not currently Done.
+  bool resurrect(TaskId t);
+
  private:
   struct NodeQueues {
     std::vector<TaskId> assigned;
@@ -147,12 +184,19 @@ class ExecutorCore {
   CoreConfig config_;
   ResidencyProbe* probe_;
 
+  void poison_locked(TaskId t, std::vector<TaskId>* poisoned);
+
   mutable std::mutex mutex_;
   std::vector<TaskState> states_;
   std::vector<int> deps_;
   std::vector<int> missing_;
+  std::vector<int> retries_;
+  /// Task is a resurrected producer: its next finish() must not re-decrement
+  /// successor dependencies (they were counted on the first run).
+  std::vector<std::uint8_t> rerun_;
   std::vector<NodeQueues> nodes_;
   std::size_t completed_ = 0;
+  std::size_t faulted_ = 0;
 };
 
 }  // namespace dooc::sched

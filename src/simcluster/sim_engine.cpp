@@ -148,6 +148,10 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
   ArrayState& st = it->second;
   if (st.bytes <= kControlBytes) return;
   if (st.resident_on.count(ns.node) != 0 || st.fetching_on.count(ns.node) != 0) return;
+  if (plan_ != nullptr) {
+    const auto bit = blocked_until_.find({ns.node, array});
+    if (bit != blocked_until_.end() && bit->second > now_) return;  // backoff in force
+  }
 
   std::vector<ResourceId> path;
   bool is_gpfs = false;
@@ -161,14 +165,16 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
     const double factor = 1.0 - res_.bw_noise * rng.next_double();
     own_cap = res_.node_read_cap * factor;
   } else {
-    // Produced data: fetch over IB from a node that holds it.
+    // Produced data: fetch over IB from a live node that holds it.
     if (st.resident_on.empty()) return;  // producer not done yet
-    int src = *st.resident_on.begin();
+    int src = -1;
     for (int cand : st.resident_on) {
       if (cand == ns.node) return;  // already local (shouldn't happen)
+      if (plan_ != nullptr && plan_->node_down(cand)) continue;  // holder unreachable
       src = cand;
       break;
     }
+    if (src < 0) return;  // every holder is down: wait out the outage
     path = {ib_egress_[static_cast<std::size_t>(src)],
             ib_ingress_[static_cast<std::size_t>(ns.node)]};
   }
@@ -202,6 +208,18 @@ void SimEngine::ensure_fetch(NodeState& ns, const std::string& array) {
 void SimEngine::schedule_node(NodeState& ns) {
   using sched::StageDecision;
   using sched::StageSelect;
+
+  if (plan_ != nullptr && plan_->node_down(ns.node)) {
+    // A down node serves nothing and starts nothing; compute already in
+    // flight finishes. Its op clock still ticks once per stalled scheduling
+    // round so bounded outage windows (down=N@AFTER+OPS) expire under
+    // virtual time.
+    if (core_->backlog(ns.node) > 0 || core_->pending(ns.node) > 0 ||
+        core_->runnable(ns.node) > 0 || !ns.running.empty()) {
+      (void)plan_->next_read(ns.node);
+    }
+    return;
+  }
 
   // 1. Let the core re-probe residency: staged tasks whose flows landed
   //    become Runnable; runnable tasks whose data was evicted fall back.
@@ -279,6 +297,27 @@ void SimEngine::release_reader(const std::string& array) {
   st.resident_on.clear();
 }
 
+void SimEngine::fault_consumers(int node, const std::string& array) {
+  for (const TaskId t : core_->pending_tasks(node)) {
+    const Task& task = graph_->task(t);
+    bool uses = false;
+    for (const auto& in : task.inputs) {
+      if (in.array == array) {
+        uses = true;
+        break;
+      }
+    }
+    if (!uses) continue;
+    std::vector<TaskId> poisoned;
+    if (core_->fault(t, &poisoned) == sched::ExecutorCore::FaultAction::Poisoned) {
+      metrics_.tasks_faulted += poisoned.size();
+      if (obs::trace_enabled()) {
+        obs::emit_instant(obs::intern("fault"), obs::intern("task-poisoned"), node, 0);
+      }
+    }
+  }
+}
+
 void SimEngine::finish_task(NodeState& ns, TaskId t) {
   const Task& task = graph_->task(t);
 
@@ -318,6 +357,15 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   flow_start_.clear();
   gpfs_flows_.clear();
   noise_state_ = 0;
+  // Programmatic plan wins; DOOC_FAULTS reaches the DES the same way it
+  // reaches a real StorageCluster. `hold` keeps an env-derived plan alive
+  // for the duration of the run.
+  const std::shared_ptr<fault::FaultPlan> hold =
+      fault_plan_ != nullptr ? fault_plan_ : fault::FaultPlan::from_env();
+  plan_ = hold != nullptr && hold->enabled() ? hold.get() : nullptr;
+  fetch_failures_.clear();
+  blocked_until_.clear();
+  arriving_.clear();
 
   // Resources.
   gpfs_node_link_.clear();
@@ -384,14 +432,21 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   const std::size_t total = graph.size();
   std::size_t guard = 0;
   const std::size_t guard_limit = 100 * total + 100000;
-  while (core_->completed() < total) {
+  while (!core_->all_settled()) {
     DOOC_CHECK(++guard < guard_limit, "simulation event-loop guard tripped");
+    // Expired backoff gates are consumed (ensure_fetch may retry now);
+    // live ones bound dt below so the clock jumps straight to the retry.
+    for (auto it = blocked_until_.begin(); it != blocked_until_.end();) {
+      it = it->second <= now_ ? blocked_until_.erase(it) : std::next(it);
+    }
     for (auto& ns : nodes_) schedule_node(*ns);
 
     double dt = net_.next_completion_delta();
     for (const auto& ns : nodes_) {
       for (const auto& [t, end] : ns->running) dt = std::min(dt, end - now_);
     }
+    for (const auto& [key, until] : blocked_until_) dt = std::min(dt, until - now_);
+    for (const auto& [when, n, a] : arriving_) dt = std::min(dt, when - now_);
     if (!std::isfinite(dt)) {
       // Nothing in flight: either we just enabled work (loop again) or the
       // graph is stuck.
@@ -433,7 +488,44 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
       }
       st.fetching_on.erase(node);
       ns.inflight_bytes -= st.bytes;
-      if (st.readers_remaining > 0) make_resident(node, array);
+      // One completed fetch = one storage op against `node`: draw the same
+      // deterministic verdict the real I/O filters would.
+      fault::FaultDecision verdict;
+      if (plan_ != nullptr) verdict = plan_->next_read(node);
+      using Action = fault::FaultDecision::Action;
+      if (verdict.action == Action::Fail || verdict.action == Action::ShortRead) {
+        const auto key = std::make_pair(node, array);
+        const int failures = ++fetch_failures_[key];
+        const fault::RetryPolicy& rp = plan_->config().retry;
+        ++metrics_.fetch_faults;
+        if (failures < rp.max_attempts) {
+          // Not resident: ensure_fetch re-issues once the backoff expires.
+          ++metrics_.fetch_retries;
+          blocked_until_[key] = now_ + fault::backoff_delay_s(rp, failures);
+        } else {
+          // Budget exhausted: consumers retry or poison through the core.
+          // The failure count resets so a retried consumer starts a fresh
+          // fetch budget (mirroring the real engine's per-staging retries).
+          fetch_failures_.erase(key);
+          blocked_until_.erase(key);
+          fault_consumers(node, array);
+        }
+      } else if (verdict.action == Action::Delay && verdict.delay_s > 0.0) {
+        arriving_.emplace_back(now_ + verdict.delay_s, node, array);
+      } else if (st.readers_remaining > 0) {
+        make_resident(node, array);
+      }
+    }
+    // Latency-spiked fetches whose deferred delivery time arrived.
+    for (auto it = arriving_.begin(); it != arriving_.end();) {
+      if (std::get<0>(*it) <= now_ + 1e-12) {
+        if (arrays_.at(std::get<2>(*it)).readers_remaining > 0) {
+          make_resident(std::get<1>(*it), std::get<2>(*it));
+        }
+        it = arriving_.erase(it);
+      } else {
+        ++it;
+      }
     }
     for (auto& ns : nodes_) {
       for (std::size_t i = 0; i < ns->running.size();) {
@@ -451,6 +543,7 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   metrics_.makespan = now_;
   core_.reset();  // holds a pointer into `graph`
   graph_ = nullptr;
+  plan_ = nullptr;  // `hold` dies with this frame
   return metrics_;
 }
 

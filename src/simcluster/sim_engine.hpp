@@ -24,7 +24,9 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 
+#include "fault/fault_plan.hpp"
 #include "sched/executor_core.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/policy.hpp"
@@ -67,6 +69,9 @@ struct SimMetrics {
   double total_flops = 0;
   int nodes = 0;
   int cores_per_node = 8;
+  std::uint64_t fetch_faults = 0;   ///< injected fetch failures (incl. the final ones)
+  std::uint64_t fetch_retries = 0;  ///< fetches re-issued after virtual-time backoff
+  std::uint64_t tasks_faulted = 0;  ///< tasks settled as Faulted (incl. poisoned successors)
 
   [[nodiscard]] double read_bandwidth() const {
     return gpfs_busy > 0 ? static_cast<double>(disk_bytes) / gpfs_busy : 0.0;
@@ -103,6 +108,18 @@ class SimEngine : private sched::ResidencyProbe {
   SimMetrics run(const sched::TaskGraph& graph,
                  sched::LocalPolicy policy = sched::LocalPolicy::DataAware);
 
+  /// Replay a fault-injection schedule under virtual time: modeled fetches
+  /// draw verdicts from the same FaultPlan the real storage layer consults
+  /// (one op per completed fetch per node). Failed fetches re-issue after a
+  /// virtual backoff; past the retry budget their consumers retry / poison
+  /// through the shared ExecutorCore. During an outage window a node starts
+  /// no compute, issues no fetches and is skipped as a fetch source; its
+  /// op clock ticks once per stalled scheduling round, so outage windows
+  /// should be bounded (down=N@AFTER+OPS) or lifted via mark_up() — a
+  /// permanent outage with tasks assigned to the node deadlocks the DES.
+  /// Null (plus unset DOOC_FAULTS) disables injection.
+  void set_fault_plan(std::shared_ptr<fault::FaultPlan> plan) { fault_plan_ = std::move(plan); }
+
  private:
   struct NodeState;
 
@@ -127,6 +144,9 @@ class SimEngine : private sched::ResidencyProbe {
   void evict_for(NodeState& ns, std::uint64_t incoming);
   void finish_task(NodeState& ns, sched::TaskId task);
   void release_reader(const std::string& array);
+  /// A fetch of `array` onto `node` failed past the retry budget: report it
+  /// to the core for every InputsPending consumer (retry or poison).
+  void fault_consumers(int node, const std::string& array);
 
   int num_nodes_;
   SimResources res_;
@@ -145,6 +165,13 @@ class SimEngine : private sched::ResidencyProbe {
   std::set<FlowId> gpfs_flows_;
   double now_ = 0;
   SimMetrics metrics_;
+  std::shared_ptr<fault::FaultPlan> fault_plan_;
+  fault::FaultPlan* plan_ = nullptr;  ///< active plan during run() (may be from_env)
+  std::map<std::pair<int, std::string>, int> fetch_failures_;
+  /// Backoff gates: (node, array) may not re-fetch before this virtual time.
+  std::map<std::pair<int, std::string>, double> blocked_until_;
+  /// Deferred residency from injected latency spikes: (when, node, array).
+  std::vector<std::tuple<double, int, std::string>> arriving_;
   std::vector<ResourceId> gpfs_node_link_;
   ResourceId gpfs_aggregate_ = 0;
   std::vector<ResourceId> ib_egress_, ib_ingress_;

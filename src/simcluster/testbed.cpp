@@ -50,6 +50,7 @@ TestbedResult run_impl(int compute_nodes, int grid_k, std::uint64_t dimension,
   solver::IteratedSpmv driver(creator, dm, config);
 
   SimEngine engine(compute_nodes, resources, creator.arrays());
+  engine.set_fault_plan(experiment.fault_plan);
   TestbedResult result;
   result.experiment = experiment;
   result.metrics = engine.run(driver.graph(), experiment.policy);

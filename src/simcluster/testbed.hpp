@@ -24,6 +24,9 @@ struct TestbedExperiment {
   std::uint64_t nnz_per_node = 12'800'000'000ull;
   int blocks_per_node_side = 5;
   std::uint64_t submatrix_bytes = 4'000'000'000ull;
+  /// Optional fault-injection schedule replayed under virtual time (see
+  /// SimEngine::set_fault_plan for the outage-window caveat).
+  std::shared_ptr<fault::FaultPlan> fault_plan;
 
   [[nodiscard]] double matrix_terabytes() const {
     const double per_node = static_cast<double>(blocks_per_node_side) * blocks_per_node_side *

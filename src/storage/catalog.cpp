@@ -94,6 +94,14 @@ void CatalogShard::note_durable(const BlockKey& key) {
   for (auto& cb : fire) cb(key);
 }
 
+void CatalogShard::reset_block(const BlockKey& key) {
+  std::lock_guard lock(mutex_);
+  auto it = arrays_.find(key.array);
+  if (it == arrays_.end()) return;
+  it->second.holders.erase(key.block);
+  if (key.block < it->second.durable.size()) it->second.durable[key.block] = false;
+}
+
 BlockInfo CatalogShard::block_info(const BlockKey& key) const {
   std::lock_guard lock(mutex_);
   BlockInfo info;

@@ -71,6 +71,10 @@ class CatalogShard {
   void drop_holder(const BlockKey& key, int node);
   /// The block is now on disk at the home node. Fires awaiters.
   void note_durable(const BlockKey& key);
+  /// Lost-block recovery: erase everything known about the block — holders
+  /// and the durable bit — so a resurrected producer may rewrite it. The
+  /// next await_block() parks until the re-run seals it again.
+  void reset_block(const BlockKey& key);
 
   [[nodiscard]] BlockInfo block_info(const BlockKey& key) const;
 

@@ -42,13 +42,18 @@ std::uint64_t now_nanos() {
           .count());
 }
 
+double now_seconds() { return static_cast<double>(now_nanos()) * 1e-9; }
+
 }  // namespace
 
-IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw, int node)
+IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw, int node,
+                           std::shared_ptr<fault::FaultPlan> fault)
     : throttle_read_bw_(throttle_read_bw),
       node_(node),
+      fault_(std::move(fault)),
       read_latency_us_(&obs::Metrics::instance().histogram("io.read_latency_us", node)),
-      write_latency_us_(&obs::Metrics::instance().histogram("io.write_latency_us", node)) {
+      write_latency_us_(&obs::Metrics::instance().histogram("io.write_latency_us", node)),
+      m_retries_(&obs::Metrics::instance().counter("io.retries", node)) {
   DOOC_REQUIRE(num_workers > 0, "need at least one I/O worker");
   workers_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
@@ -106,7 +111,44 @@ void IoWorkerPool::worker_loop() {
   }
 }
 
+void IoWorkerPool::fault_sleep(const char* why, double seconds) {
+  if (seconds <= 0.0) return;
+  std::optional<obs::Span> span;
+  if (obs::trace_enabled()) span.emplace("fault", why, node_);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
 void IoWorkerPool::do_read(Job& job) {
+  if (!fault_) {
+    job.read_done.set_value(read_attempt(job, {}));
+    return;
+  }
+  // Fault-tolerant path: retry transient failures — injected or real — with
+  // capped exponential backoff until the policy (attempts or deadline) is
+  // exhausted, then surface a typed StorageError.
+  fault::RetryBudget budget(fault_->config().retry, now_seconds());
+  for (;;) {
+    try {
+      job.read_done.set_value(read_attempt(job, fault_->next_read(node_)));
+      return;
+    } catch (const IoError& e) {
+      if (!budget.try_again(now_seconds())) {
+        throw StorageError("read of '" + job.path + "' failed permanently after " +
+                           std::to_string(budget.failures()) + " attempt(s): " + e.what());
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      m_retries_->add();
+      fault_sleep("retry_backoff", budget.next_backoff_s(now_seconds()));
+    }
+  }
+}
+
+DataBuffer IoWorkerPool::read_attempt(Job& job, const fault::FaultDecision& verdict) {
+  using Action = fault::FaultDecision::Action;
+  if (verdict.action == Action::Fail) {
+    throw IoError("injected transient read error on '" + job.path + "'");
+  }
+  if (verdict.action == Action::Delay) fault_sleep("latency_spike", verdict.delay_s);
   std::optional<obs::Span> span;
   if (obs::trace_enabled()) {
     span.emplace("io", "disk_read", node_);
@@ -114,10 +156,13 @@ void IoWorkerPool::do_read(Job& job) {
   }
   const std::uint64_t t0 = now_nanos();
   ScopedFd fd(job.path, O_RDONLY);
+  // A short read truncates the transfer partway, as a flaky device would.
+  const std::uint64_t want =
+      verdict.action == Action::ShortRead ? job.length - (job.length + 1) / 2 : job.length;
   DataBuffer buffer(job.length);
   std::uint64_t done = 0;
-  while (done < job.length) {
-    const ssize_t n = ::pread(fd.get(), buffer.data() + done, job.length - done,
+  while (done < want) {
+    const ssize_t n = ::pread(fd.get(), buffer.data() + done, want - done,
                               static_cast<off_t>(job.offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -127,6 +172,10 @@ void IoWorkerPool::do_read(Job& job) {
       throw IoError("pread('" + job.path + "'): short read (file smaller than catalog size?)");
     }
     done += static_cast<std::uint64_t>(n);
+  }
+  if (done < job.length) {
+    throw IoError("injected short read on '" + job.path + "' (" + std::to_string(done) + "/" +
+                  std::to_string(job.length) + " bytes)");
   }
   const std::uint64_t t1 = now_nanos();
   if (throttle_read_bw_ > 0.0) {
@@ -141,10 +190,39 @@ void IoWorkerPool::do_read(Job& job) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   read_bytes_.fetch_add(job.length, std::memory_order_relaxed);
   read_latency_us_->add(static_cast<double>(elapsed) * 1e-3);
-  job.read_done.set_value(std::move(buffer));
+  return buffer;
 }
 
 void IoWorkerPool::do_write(Job& job) {
+  if (!fault_) {
+    write_attempt(job, {});
+    job.write_done.set_value();
+    return;
+  }
+  fault::RetryBudget budget(fault_->config().retry, now_seconds());
+  for (;;) {
+    try {
+      write_attempt(job, fault_->next_write(node_));
+      job.write_done.set_value();
+      return;
+    } catch (const IoError& e) {
+      if (!budget.try_again(now_seconds())) {
+        throw StorageError("write of '" + job.path + "' failed permanently after " +
+                           std::to_string(budget.failures()) + " attempt(s): " + e.what());
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      m_retries_->add();
+      fault_sleep("retry_backoff", budget.next_backoff_s(now_seconds()));
+    }
+  }
+}
+
+void IoWorkerPool::write_attempt(Job& job, const fault::FaultDecision& verdict) {
+  using Action = fault::FaultDecision::Action;
+  if (verdict.action == Action::Fail) {
+    throw IoError("injected transient write error on '" + job.path + "'");
+  }
+  if (verdict.action == Action::Delay) fault_sleep("latency_spike", verdict.delay_s);
   std::optional<obs::Span> span;
   if (obs::trace_enabled()) {
     span.emplace("io", "disk_write", node_);
@@ -168,7 +246,6 @@ void IoWorkerPool::do_write(Job& job) {
   writes_.fetch_add(1, std::memory_order_relaxed);
   write_bytes_.fetch_add(total, std::memory_order_relaxed);
   write_latency_us_->add(static_cast<double>(elapsed) * 1e-3);
-  job.write_done.set_value();
 }
 
 }  // namespace dooc::storage

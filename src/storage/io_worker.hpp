@@ -17,6 +17,7 @@
 
 #include "common/buffer.hpp"
 #include "common/queue.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "storage/types.hpp"
 
@@ -26,8 +27,14 @@ class IoWorkerPool {
  public:
   /// `throttle_read_bw` (bytes/s; 0 = off) inserts sleeps to emulate a slow
   /// device on fast local filesystems. `node` scopes the pool's obs metrics
-  /// and trace events to a virtual node (-1 = unscoped).
-  explicit IoWorkerPool(int num_workers, double throttle_read_bw = 0.0, int node = -1);
+  /// and trace events to a virtual node (-1 = unscoped). With a `fault`
+  /// plan the pool becomes both the injection site (the plan's read/write
+  /// verdicts fire here) and the retry site: transient failures — injected
+  /// or real — are retried per the plan's RetryPolicy (capped exponential
+  /// backoff + per-request deadline) and only exhaustion surfaces, as a
+  /// typed StorageError.
+  explicit IoWorkerPool(int num_workers, double throttle_read_bw = 0.0, int node = -1,
+                        std::shared_ptr<fault::FaultPlan> fault = nullptr);
   ~IoWorkerPool();
 
   IoWorkerPool(const IoWorkerPool&) = delete;
@@ -48,6 +55,8 @@ class IoWorkerPool {
   /// Cumulative seconds worker threads spent inside filesystem calls.
   [[nodiscard]] double read_seconds() const noexcept { return as_seconds(read_nanos_); }
   [[nodiscard]] double write_seconds() const noexcept { return as_seconds(write_nanos_); }
+  /// Transient failures retried away (never surfaced to callers).
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_.load(std::memory_order_relaxed); }
 
  private:
   struct Job {
@@ -63,6 +72,12 @@ class IoWorkerPool {
   void worker_loop();
   void do_read(Job& job);
   void do_write(Job& job);
+  /// One physical attempt, with the plan's verdict applied first.
+  DataBuffer read_attempt(Job& job, const fault::FaultDecision& verdict);
+  void write_attempt(Job& job, const fault::FaultDecision& verdict);
+  /// Sleep out a backoff/latency window under a "fault"-category span so
+  /// the causal graph can blame the time on the injected fault.
+  void fault_sleep(const char* why, double seconds);
 
   static double as_seconds(const std::atomic<std::uint64_t>& nanos) noexcept {
     return static_cast<double>(nanos.load(std::memory_order_relaxed)) * 1e-9;
@@ -72,11 +87,14 @@ class IoWorkerPool {
   std::vector<std::thread> workers_;
   double throttle_read_bw_;
   int node_;
+  std::shared_ptr<fault::FaultPlan> fault_;
   /// Resolved once; obs::Histogram is internally synchronized.
   obs::Histogram* read_latency_us_;
   obs::Histogram* write_latency_us_;
+  obs::Counter* m_retries_;
   std::atomic<std::uint64_t> reads_{0}, read_bytes_{0}, writes_{0}, write_bytes_{0};
   std::atomic<std::uint64_t> read_nanos_{0}, write_nanos_{0};
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 }  // namespace dooc::storage

@@ -1,6 +1,7 @@
 #include "storage/storage_cluster.hpp"
 
 #include "common/error.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace dooc::storage {
 
@@ -15,10 +16,15 @@ StorageCluster::StorageCluster(int num_nodes, const StorageConfig& base,
   for (auto& s : shards_) shard_ptrs.push_back(s.get());
   catalog_ = std::make_unique<DistributedCatalog>(std::move(shard_ptrs));
 
+  // One shared plan per cluster (it is cluster state). Programmatic config
+  // wins; otherwise DOOC_FAULTS activates injection for the whole run.
+  fault_plan_ = base.fault_plan != nullptr ? base.fault_plan : fault::FaultPlan::from_env();
+
   nodes_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     StorageConfig cfg = base;
     cfg.seed = base.seed + static_cast<std::uint64_t>(i) * 1000003;
+    cfg.fault_plan = fault_plan_;
     nodes_.push_back(std::make_unique<StorageNode>(i, cfg, catalog_.get(), transport));
   }
   std::vector<StorageNode*> peers;
@@ -55,6 +61,16 @@ std::uint64_t StorageCluster::total_resident_bytes() {
   std::uint64_t total = 0;
   for (auto& n : nodes_) total += n->resident_bytes();
   return total;
+}
+
+bool StorageCluster::forget_block(const BlockKey& key) {
+  // Refuse if any node still has the block busy (pinned / awaited / in
+  // flight): then the data is not actually lost and must not be clobbered.
+  for (auto& n : nodes_) {
+    if (n->forget_block_local(key) == StorageNode::ForgetResult::Busy) return false;
+  }
+  catalog_->shard_for(key.array).reset_block(key);
+  return true;
 }
 
 }  // namespace dooc::storage

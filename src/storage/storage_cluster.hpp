@@ -25,15 +25,29 @@ class StorageCluster {
   [[nodiscard]] StorageNode& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
   [[nodiscard]] DistributedCatalog& catalog() noexcept { return *catalog_; }
   [[nodiscard]] df::TransportStats* transport() noexcept { return transport_; }
+  /// The cluster's shared fault-injection plan: the one from the base
+  /// config, else DOOC_FAULTS, else null (faults off). With a plan present
+  /// the engine runs its fault-recovery policy instead of aborting on the
+  /// first storage error.
+  [[nodiscard]] const std::shared_ptr<fault::FaultPlan>& fault_plan() const noexcept {
+    return fault_plan_;
+  }
 
   /// Aggregate statistics over all nodes.
   [[nodiscard]] StorageStats total_stats();
   [[nodiscard]] std::uint64_t total_resident_bytes();
 
+  /// Lost-block recovery: purge the block's in-memory state on every node
+  /// and wipe its catalog entry so a resurrected producer may rewrite it.
+  /// Returns false (and changes nothing durable) when some node still has
+  /// the block busy — the data is not actually lost then.
+  bool forget_block(const BlockKey& key);
+
  private:
   std::vector<std::unique_ptr<CatalogShard>> shards_;
   std::unique_ptr<DistributedCatalog> catalog_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::shared_ptr<fault::FaultPlan> fault_plan_;
   df::TransportStats* transport_ = nullptr;
 };
 

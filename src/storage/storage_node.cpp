@@ -84,7 +84,7 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       config_(std::move(config)),
       catalog_(catalog),
       transport_(transport),
-      io_(config_.io_workers, config_.throttle_read_bw, node_id),
+      io_(config_.io_workers, config_.throttle_read_bw, node_id, config_.fault_plan),
       fetchers_(static_cast<std::size_t>(config_.io_workers)),
       rng_(config_.seed ^ (0x9e37u * static_cast<std::uint64_t>(node_id + 1))),
       lookup_rng_state_(config_.seed + static_cast<std::uint64_t>(node_id) * 7919),
@@ -95,6 +95,7 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       m_fetch_started_(&obs::Metrics::instance().counter("storage.fetch_started", node_id)),
       m_fetch_deduped_(&obs::Metrics::instance().counter("storage.fetch_deduped", node_id)),
       m_fetch_deferred_(&obs::Metrics::instance().counter("storage.fetch_deferred", node_id)),
+      m_failover_(&obs::Metrics::instance().counter("storage.failover", node_id)),
       m_inflight_gauge_(&obs::Metrics::instance().gauge("storage.inflight_bytes", node_id)) {
   DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
   scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
@@ -196,6 +197,23 @@ void StorageNode::drop_array_local(const ArrayName& name) {
     }
   }
   for (const auto& key : dropped) catalog_->shard_for(name).drop_holder(key, id_);
+}
+
+StorageNode::ForgetResult StorageNode::forget_block_local(const BlockKey& key) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = blocks_.find(key);
+    if (it == blocks_.end()) return ForgetResult::Absent;
+    const BlockPtr& block = it->second;
+    if (block->read_pins != 0 || block->write_pins != 0 || !block->read_waiters.empty() ||
+        block->fetch_inflight) {
+      return ForgetResult::Busy;
+    }
+    if (block->data.size() != 0) resident_bytes_ -= block->bytes;
+    blocks_.erase(it);
+  }
+  catalog_->shard_for(key.array).drop_holder(key, id_);
+  return ForgetResult::Dropped;
 }
 
 std::optional<ArrayMeta> StorageNode::array_meta(const ArrayName& name) {
@@ -459,10 +477,12 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
   try {
     const BlockKey key = block->key;
     const BlockInfo info = catalog_->shard_for(key.array).block_info(key);
+    const fault::FaultPlan* plan = config_.fault_plan.get();
 
     // 1) A peer holds a sealed in-memory copy — fetch it over the "wire".
     for (int holder : info.holders) {
       if (holder == id_) continue;
+      if (plan != nullptr && plan->node_down(holder)) continue;  // unreachable
       StorageNode* peer = peers_[static_cast<std::size_t>(holder)];
       std::uint64_t got = 0;
       DataBuffer data = peer->fetch_block(key, id_, &got);
@@ -481,6 +501,18 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
     // 2) The block is durable at its home node.
     if (info.durable) {
       if (meta.home_node == id_) {
+        DataBuffer data =
+            io_.read(meta.path, key.block * meta.block_size, block->bytes).get();
+        install_payload(meta, block, std::move(data), /*durable=*/true);
+      } else if (plan != nullptr && plan->node_down(meta.home_node)) {
+        // Failover: the home node is down but its scratch file survives on
+        // the shared filesystem (the paper's GPFS tier outlives any one
+        // storage process). Read the durable block straight from the
+        // scratch-directory source through our own I/O filters.
+        m_failover_->add();
+        if (obs::trace_enabled()) {
+          obs::emit_instant(obs::intern("fault"), obs::intern("failover"), id_, 0);
+        }
         DataBuffer data =
             io_.read(meta.path, key.block * meta.block_size, block->bytes).get();
         install_payload(meta, block, std::move(data), /*durable=*/true);
@@ -578,6 +610,10 @@ void StorageNode::fail_block(const BlockPtr& block, std::exception_ptr error) {
 
 DataBuffer StorageNode::fetch_block(const BlockKey& key, int requester, std::uint64_t* bytes_out) {
   *bytes_out = 0;
+  // A node inside an outage window is unreachable: it answers every peer
+  // RPC with "don't have it", and requesters fail over to other holders or
+  // to the scratch-directory source.
+  if (config_.fault_plan && config_.fault_plan->node_down(id_)) return {};
   DataBuffer copy;
   std::uint64_t size = 0;
   {

@@ -260,6 +260,14 @@ class StorageNode {
   DataBuffer fetch_block(const BlockKey& key, int requester, std::uint64_t* bytes_out);
   /// Drop any local state for the array (used by delete_array).
   void drop_array_local(const ArrayName& name);
+  /// Outcome of forget_block_local: the block was not here, was dropped, or
+  /// could not be dropped because someone still pins or awaits it.
+  enum class ForgetResult { Absent, Dropped, Busy };
+  /// Purge any local (in-memory) state for one block so a resurrected
+  /// producer may legally rewrite it — part of lost-block recovery. Refuses
+  /// (Busy) when the block is pinned, has waiters, or is being fetched:
+  /// then the data is not actually lost and recovery must not clobber it.
+  ForgetResult forget_block_local(const BlockKey& key);
   /// Write a block's payload into the home file (this node must be home).
   void store_block_at_home(const ArrayMeta& meta, std::uint64_t block, DataBuffer data);
 
@@ -353,6 +361,7 @@ class StorageNode {
   obs::Counter* m_fetch_started_;
   obs::Counter* m_fetch_deduped_;
   obs::Counter* m_fetch_deferred_;
+  obs::Counter* m_failover_;
   obs::Gauge* m_inflight_gauge_;
 };
 

@@ -9,7 +9,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+
+namespace dooc::fault {
+class FaultPlan;
+}  // namespace dooc::fault
 
 namespace dooc::storage {
 
@@ -74,6 +79,11 @@ struct StorageConfig {
   std::uint64_t max_inflight_load_bytes = 0;
   /// Seed for the random-walk lookup and the Random eviction policy.
   std::uint64_t seed = 0x5eed;
+  /// Shared fault-injection plan (cluster state — every node of a cluster
+  /// points at the same plan). Null = no injection, no retries: the I/O
+  /// filters surface the first error, exactly the pre-fault behaviour.
+  /// StorageCluster fills this from DOOC_FAULTS when left null.
+  std::shared_ptr<fault::FaultPlan> fault_plan;
 };
 
 /// Monotonic counters kept by each storage node. All cheap relaxed atomics.

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <future>
 
+#include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "storage/storage_cluster.hpp"
 #include "test_util.hpp"
@@ -414,6 +415,11 @@ TEST(Storage, InflightBudgetDefersLoadsButAllComplete) {
   StorageConfig cfg = base_config(dir);
   cfg.memory_budget = 8ull << 20;
   cfg.max_inflight_load_bytes = 64 * 1024;  // one block in flight at a time
+  // Slow every disk read by 5ms so the issue loop below always outpaces the
+  // I/O worker; without this the 64KB reads can complete faster than the
+  // main thread issues them and the budget is never contended.
+  cfg.fault_plan =
+      std::make_shared<fault::FaultPlan>(fault::FaultPlan::parse("latency=1.0:5ms"));
   StorageCluster cluster(1, cfg);
   auto& node = cluster.node(0);
 
