@@ -48,6 +48,79 @@ class TransportStats {
 
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
 
+  /// Plain-value copy of the counter matrix with per-direction aggregates.
+  /// Snapshots subtract, so a bench can report the traffic of one phase
+  /// (deploy vs. run, iteration k) instead of cumulative totals only.
+  struct Snapshot {
+    struct Edge {
+      std::uint64_t messages = 0;
+      std::uint64_t bytes = 0;
+    };
+    int num_nodes = 0;
+    std::vector<Edge> edges;  ///< edges[from * num_nodes + to]
+
+    [[nodiscard]] const Edge& edge(NodeId from, NodeId to) const {
+      return edges[static_cast<std::size_t>(from) * num_nodes + to];
+    }
+    /// Bytes `node` pushed across a boundary (node-local sends excluded).
+    [[nodiscard]] std::uint64_t bytes_sent(NodeId node) const noexcept {
+      std::uint64_t total = 0;
+      for (NodeId to = 0; to < num_nodes; ++to)
+        if (to != node) total += edge(node, to).bytes;
+      return total;
+    }
+    /// Bytes delivered to `node` from other nodes.
+    [[nodiscard]] std::uint64_t bytes_received(NodeId node) const noexcept {
+      std::uint64_t total = 0;
+      for (NodeId from = 0; from < num_nodes; ++from)
+        if (from != node) total += edge(from, node).bytes;
+      return total;
+    }
+    [[nodiscard]] std::uint64_t cross_node_bytes() const noexcept {
+      std::uint64_t total = 0;
+      for (NodeId i = 0; i < num_nodes; ++i) total += bytes_sent(i);
+      return total;
+    }
+    [[nodiscard]] std::uint64_t cross_node_messages() const noexcept {
+      std::uint64_t total = 0;
+      for (NodeId i = 0; i < num_nodes; ++i)
+        for (NodeId j = 0; j < num_nodes; ++j)
+          if (i != j) total += edge(i, j).messages;
+      return total;
+    }
+
+    /// Traffic since `earlier` (counters are monotone between resets).
+    [[nodiscard]] Snapshot delta(const Snapshot& earlier) const {
+      Snapshot d = *this;
+      if (earlier.num_nodes != num_nodes) return d;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        d.edges[i].messages -= earlier.edges[i].messages;
+        d.edges[i].bytes -= earlier.edges[i].bytes;
+      }
+      return d;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.num_nodes = num_nodes_;
+    s.edges.resize(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      s.edges[i].messages = cells_[i].messages.load(std::memory_order_relaxed);
+      s.edges[i].bytes = cells_[i].bytes.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// Zero every counter (benches isolating a phase). Counters are relaxed
+  /// atomics; concurrent record() calls may straddle the reset.
+  void reset() noexcept {
+    for (auto& c : cells_) {
+      c.messages.store(0, std::memory_order_relaxed);
+      c.bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+
  private:
   struct Cell {
     std::atomic<std::uint64_t> messages{0};

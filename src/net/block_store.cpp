@@ -1,0 +1,103 @@
+#include "net/block_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dooc::net {
+
+namespace {
+
+void write_atomic(const std::string& path, const DataBuffer& bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot write durable block file '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw IoError("short write to durable block file '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    throw IoError("cannot rename durable block file into place: '" + path + "'");
+  }
+}
+
+}  // namespace
+
+std::string BlockStore::durable_path(const std::string& dir, const std::string& name) {
+  std::string safe;
+  safe.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-' || c == '.';
+    safe.push_back(ok ? c : '_');
+  }
+  return dir + "/" + safe + ".blk";
+}
+
+void BlockStore::put(const std::string& name, DataBuffer bytes, bool durable) {
+  if (durable && !durable_dir_.empty()) {
+    write_atomic(durable_path(durable_dir_, name), bytes);
+  }
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = blocks_.insert_or_assign(name, std::move(bytes));
+  if (inserted) {
+    counters_.blocks_stored += 1;
+    counters_.bytes_stored += it->second.size();
+  }
+  if (durable && !durable_dir_.empty()) {
+    counters_.durable_writes += 1;
+    counters_.durable_bytes += it->second.size();
+  }
+}
+
+void BlockStore::put_cached(const std::string& name, DataBuffer bytes) {
+  std::lock_guard lock(mutex_);
+  cached_.insert_or_assign(name, std::move(bytes));
+}
+
+bool BlockStore::get(const std::string& name, DataBuffer& out) const {
+  std::lock_guard lock(mutex_);
+  if (auto it = blocks_.find(name); it != blocks_.end()) {
+    out = it->second;
+    return true;
+  }
+  if (auto it = cached_.find(name); it != cached_.end()) {
+    out = it->second;
+    return true;
+  }
+  return false;
+}
+
+bool BlockStore::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return blocks_.count(name) != 0 || cached_.count(name) != 0;
+}
+
+DataBuffer BlockStore::load_durable(const std::string& name) const {
+  if (durable_dir_.empty()) throw IoError("no durable directory configured");
+  const std::string path = durable_path(durable_dir_, name);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("durable block file missing: '" + path + "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  DataBuffer buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()), size);
+  if (!in) throw IoError("short read from durable block file '" + path + "'");
+  return buf;
+}
+
+bool BlockStore::durable_exists(const std::string& name) const {
+  if (durable_dir_.empty()) return false;
+  const std::string path = durable_path(durable_dir_, name);
+  return ::access(path.c_str(), R_OK) == 0;
+}
+
+BlockStore::Counters BlockStore::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace dooc::net

@@ -1,0 +1,297 @@
+#include "net/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <tuple>
+
+#include "common/log.hpp"
+#include "spmv/kernel_config.hpp"
+
+namespace dooc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr const char* kWhere = "net.coord";
+
+}  // namespace
+
+Coordinator::Coordinator(Transport& transport, CoordinatorConfig config)
+    : transport_(transport), config_(config), store_(config.durable_dir) {
+  if (config_.serial_nnz_threshold == 0) {
+    config_.serial_nnz_threshold = spmv::KernelConfig{}.serial_nnz_threshold;
+  }
+}
+
+void Coordinator::register_array(const std::string& name, NodeId home, std::uint64_t bytes) {
+  arrays_[name] = ArrayInfo{home, bytes};
+}
+
+bool Coordinator::put_block(NodeId home, const std::string& name, DataBuffer bytes,
+                            bool durable_elsewhere) {
+  const std::uint64_t size = bytes.size();
+  const PutBlockMsg msg{name, durable_elsewhere, std::move(bytes)};
+  if (!transport_.send(home, Channel::PutBlock, 0, msg.encode())) return false;
+  register_array(name, home, size);
+  return true;
+}
+
+NodeId Coordinator::home_of(const std::string& name) const {
+  auto it = arrays_.find(name);
+  DOOC_REQUIRE(it != arrays_.end(), "unknown array '" + name + "'");
+  return it->second.home;
+}
+
+void Coordinator::refresh_alive() {
+  alive_.clear();
+  for (const NodeId id : transport_.peers()) {
+    if (id >= 0 && id < config_.num_nodes && dead_.count(id) == 0) alive_.insert(id);
+  }
+}
+
+bool Coordinator::pump(RecvEvent& ev, int timeout_ms) {
+  if (!transport_.recv(ev, timeout_ms)) return false;
+  if (ev.kind == RecvEvent::Kind::PeerUp) {
+    if (ev.peer >= 0 && ev.peer < config_.num_nodes && dead_.count(ev.peer) == 0) {
+      alive_.insert(ev.peer);
+    }
+  } else if (ev.kind == RecvEvent::Kind::PeerDown) {
+    DOOC_LOG(Warn, kWhere) << "node " << ev.peer << " down: " << ev.error;
+    alive_.erase(ev.peer);
+    dead_.insert(ev.peer);
+  }
+  return true;
+}
+
+NodeId Coordinator::assign_node(
+    const sched::Task& task, const std::map<NodeId, std::set<sched::TaskId>>& inflight) const {
+  if (task.preferred_node >= 0 && alive_.count(task.preferred_node) != 0) {
+    return task.preferred_node;
+  }
+  // Preferred node dead (or unset): least-loaded survivor, lowest id on a
+  // tie — deterministic given the same completion history.
+  NodeId best = kCoordinatorId;
+  std::size_t best_load = 0;
+  for (const NodeId id : alive_) {
+    const auto it = inflight.find(id);
+    const std::size_t load = it == inflight.end() ? 0 : it->second.size();
+    if (best == kCoordinatorId || load < best_load) {
+      best = id;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+RunResult Coordinator::run(const sched::TaskGraph& graph) {
+  DOOC_REQUIRE(graph.built(), "coordinator needs a built graph");
+  const auto t0 = Clock::now();
+  RunResult result;
+  result.tasks_total = graph.size();
+  refresh_alive();
+
+  struct TaskState {
+    std::size_t pending_preds = 0;
+    NodeId running_on = kCoordinatorId;  ///< kCoordinatorId = not in flight
+    int retries = 0;
+    bool done = false;
+  };
+  std::vector<TaskState> state(graph.size());
+
+  // Deterministic dispatch order: iteration group, then position within
+  // the iteration, then insertion id.
+  const auto order = [&](sched::TaskId a, sched::TaskId b) {
+    const sched::Task& ta = graph.task(a);
+    const sched::Task& tb = graph.task(b);
+    return std::tie(ta.group, ta.seq, a) < std::tie(tb.group, tb.seq, b);
+  };
+  std::set<sched::TaskId, decltype(order)> ready(order);
+  for (sched::TaskId id = 0; id < graph.size(); ++id) {
+    state[id].pending_preds = graph.predecessors(id).size();
+    if (state[id].pending_preds == 0) ready.insert(id);
+  }
+
+  std::map<NodeId, std::set<sched::TaskId>> inflight;
+  std::uint64_t done_count = 0;
+
+  const auto fail = [&](std::string why) {
+    result.ok = false;
+    result.error = std::move(why);
+    result.tasks_executed = done_count;
+    result.makespan_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    result.dead_nodes.assign(dead_.begin(), dead_.end());
+    return result;
+  };
+
+  const auto requeue_node = [&](NodeId node) {
+    auto it = inflight.find(node);
+    if (it == inflight.end()) return;
+    for (const sched::TaskId id : it->second) {
+      state[id].running_on = kCoordinatorId;
+      ready.insert(id);
+      result.requeued_after_death += 1;
+      DOOC_LOG(Warn, kWhere) << "re-queueing task '" << graph.task(id).name << "' from dead node "
+                             << node;
+    }
+    inflight.erase(it);
+    // Blocks homed on the dead node survive only as durable files.
+    for (auto& [name, info] : arrays_) {
+      if (info.home == node) info.home = kDurableOnly;
+    }
+  };
+
+  const auto dispatch = [&]() -> std::optional<RunResult> {
+    std::vector<sched::TaskId> started;
+    for (const sched::TaskId id : ready) {
+      const sched::Task& task = graph.task(id);
+      const NodeId node = assign_node(task, inflight);
+      if (node == kCoordinatorId) return fail("no live worker nodes remain");
+      if (inflight[node].size() >= static_cast<std::size_t>(config_.max_inflight_per_node)) {
+        continue;  // node saturated; later ready tasks may fit elsewhere
+      }
+      ExecTaskMsg msg;
+      msg.name = task.name;
+      msg.kind = task.kind;
+      msg.serial_nnz_threshold = config_.serial_nnz_threshold;
+      for (const storage::Interval& iv : task.inputs) {
+        auto it = arrays_.find(iv.array);
+        DOOC_REQUIRE(it != arrays_.end(), "task input '" + iv.array + "' has no known home");
+        msg.inputs.push_back(TaskInput{iv.array, iv.length, it->second.home});
+      }
+      for (const storage::Interval& iv : task.outputs) {
+        msg.outputs.push_back(TaskOutput{iv.array, iv.length});
+      }
+      if (!transport_.send(node, Channel::ExecTask, id, msg.encode())) {
+        // Raced with a death the event loop has not surfaced yet; the
+        // PeerDown event will trigger the re-queue sweep.
+        DOOC_LOG(Warn, kWhere) << "dispatch to node " << node << " failed (peer gone)";
+        alive_.erase(node);
+        dead_.insert(node);
+        requeue_node(node);
+        continue;
+      }
+      state[id].running_on = node;
+      inflight[node].insert(id);
+      started.push_back(id);
+    }
+    for (const sched::TaskId id : started) ready.erase(id);
+    return std::nullopt;
+  };
+
+  auto idle_deadline = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+  while (done_count < graph.size()) {
+    if (auto failed = dispatch()) return *failed;
+    RecvEvent ev;
+    if (!pump(ev, 100)) {
+      if (Clock::now() >= idle_deadline) {
+        return fail("cluster stalled: no events for " + std::to_string(config_.idle_timeout_ms) +
+                    "ms with " + std::to_string(done_count) + "/" +
+                    std::to_string(graph.size()) + " tasks done");
+      }
+      continue;
+    }
+    idle_deadline = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+
+    if (ev.kind == RecvEvent::Kind::PeerDown) {
+      requeue_node(ev.peer);
+      continue;
+    }
+    if (ev.kind != RecvEvent::Kind::Frame || ev.channel != Channel::TaskDone) continue;
+
+    const auto id = static_cast<sched::TaskId>(ev.tag);
+    if (id >= graph.size() || state[id].done) continue;  // stale duplicate
+    const TaskDoneMsg done = TaskDoneMsg::decode(ev.payload);
+    if (state[id].running_on == ev.peer) {
+      inflight[ev.peer].erase(id);
+      state[id].running_on = kCoordinatorId;
+    }
+    if (!done.ok) {
+      state[id].retries += 1;
+      if (state[id].retries > config_.max_task_retries) {
+        return fail("task '" + graph.task(id).name + "' failed " +
+                    std::to_string(state[id].retries) + " times: " + done.error);
+      }
+      result.retries += 1;
+      DOOC_LOG(Warn, kWhere) << "retrying task '" << graph.task(id).name << "': " << done.error;
+      ready.insert(id);
+      continue;
+    }
+
+    state[id].done = true;
+    done_count += 1;
+    // The node that executed the task now homes its outputs.
+    for (const storage::Interval& iv : graph.task(id).outputs) {
+      arrays_[iv.array] = ArrayInfo{ev.peer, iv.length};
+    }
+    for (const sched::TaskId succ : graph.successors(id)) {
+      if (--state[succ].pending_preds == 0) ready.insert(succ);
+    }
+    if (progress_hook) progress_hook(done_count);
+  }
+
+  result.ok = true;
+  result.tasks_executed = done_count;
+  result.makespan_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.dead_nodes.assign(dead_.begin(), dead_.end());
+  return result;
+}
+
+DataBuffer Coordinator::fetch_block(const std::string& name) {
+  auto it = arrays_.find(name);
+  DOOC_REQUIRE(it != arrays_.end(), "fetch of unknown array '" + name + "'");
+  const NodeId home = it->second.home;
+  if (home >= 0 && alive_.count(home) != 0) {
+    const std::uint64_t tag = next_tag_++;
+    const FetchReqMsg req{name};
+    if (transport_.send(home, Channel::FetchReq, tag, req.encode())) {
+      const auto deadline = Clock::now() + std::chrono::milliseconds(config_.fetch_timeout_ms);
+      RecvEvent ev;
+      while (Clock::now() < deadline) {
+        if (!pump(ev, 100)) continue;
+        if (ev.kind == RecvEvent::Kind::PeerDown && ev.peer == home) break;
+        if (ev.kind != RecvEvent::Kind::Frame || ev.tag != tag) continue;
+        if (ev.channel == Channel::FetchOk) return FetchOkMsg::decode(ev.payload).bytes;
+        if (ev.channel == Channel::FetchFail) break;
+      }
+    }
+  }
+  // Home gone (or fetch failed): the durable copy is the block of record.
+  return store_.load_durable(name);
+}
+
+std::map<NodeId, NodeReportMsg> Coordinator::collect_reports() {
+  refresh_alive();
+  std::map<std::uint64_t, NodeId> outstanding;
+  for (const NodeId id : alive_) {
+    const std::uint64_t tag = next_tag_++;
+    if (transport_.send(id, Channel::ReportReq, tag, DataBuffer{})) outstanding[tag] = id;
+  }
+  std::map<NodeId, NodeReportMsg> reports;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(config_.report_timeout_ms);
+  RecvEvent ev;
+  while (!outstanding.empty() && Clock::now() < deadline) {
+    if (!pump(ev, 100)) continue;
+    if (ev.kind == RecvEvent::Kind::PeerDown) {
+      for (auto it = outstanding.begin(); it != outstanding.end();) {
+        it = it->second == ev.peer ? outstanding.erase(it) : std::next(it);
+      }
+      continue;
+    }
+    if (ev.kind != RecvEvent::Kind::Frame || ev.channel != Channel::ReportRep) continue;
+    auto it = outstanding.find(ev.tag);
+    if (it == outstanding.end()) continue;
+    reports[it->second] = NodeReportMsg::decode(ev.payload);
+    outstanding.erase(it);
+  }
+  return reports;
+}
+
+void Coordinator::shutdown_cluster() {
+  refresh_alive();
+  for (const NodeId id : alive_) {
+    (void)transport_.send(id, Channel::Shutdown, 0, DataBuffer{});
+  }
+}
+
+}  // namespace dooc::net

@@ -1,0 +1,111 @@
+// The cluster-side half of the two-level scheduler (paper §III-C) for the
+// wire backend: the coordinator owns the built sched::TaskGraph, tracks
+// where every array currently lives, and dispatches ready tasks to worker
+// nodes as ExecTask frames — the per-node half (kernel binding, input
+// fetching) lives in NodeServer.
+//
+// Dispatch is deterministic: ready tasks are ordered by (group, seq, id)
+// and pinned to their preferred node, so two runs of the same deployment
+// produce the same task placement and the same cross-node traffic.
+//
+// Fault handling mirrors the in-process fault layer's semantics: a
+// PeerDown re-queues the dead node's in-flight tasks onto survivors and
+// re-homes its arrays to kDurableOnly (readers fall back to the shared
+// durable directory, where every acknowledged output already lives).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/block_store.hpp"
+#include "net/protocol.hpp"
+#include "net/transport.hpp"
+#include "sched/task.hpp"
+
+namespace dooc::net {
+
+struct CoordinatorConfig {
+  int num_nodes = 1;
+  /// Shared durable directory (for gather fallback after a node death).
+  std::string durable_dir;
+  int max_inflight_per_node = 4;
+  /// Re-dispatch attempts for a task that *failed* (post-death re-queues
+  /// are not counted against this).
+  int max_task_retries = 2;
+  std::uint64_t serial_nnz_threshold = 0;  ///< 0 = kernel default
+  int fetch_timeout_ms = 10000;
+  int report_timeout_ms = 10000;
+  /// run() aborts when no event arrives for this long (hung cluster).
+  int idle_timeout_ms = 60000;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t retries = 0;               ///< failed-task re-dispatches
+  std::uint64_t requeued_after_death = 0;  ///< in-flight tasks re-queued on PeerDown
+  double makespan_s = 0.0;
+  std::vector<NodeId> dead_nodes;
+};
+
+class Coordinator {
+ public:
+  Coordinator(Transport& transport, CoordinatorConfig config);
+
+  /// Record a pre-existing array (deployed block) and where it lives.
+  void register_array(const std::string& name, NodeId home, std::uint64_t bytes);
+
+  /// Ship a block to its home node (which stores it durably unless
+  /// `durable_elsewhere`) and register it. Returns false if the node is
+  /// not connected.
+  bool put_block(NodeId home, const std::string& name, DataBuffer bytes,
+                 bool durable_elsewhere = false);
+
+  /// Execute the built graph to completion (or failure). Single-threaded:
+  /// drives dispatch and event handling from the calling thread.
+  RunResult run(const sched::TaskGraph& graph);
+
+  /// Called after every completed task with the completion count — lets a
+  /// harness kill a process mid-run at a deterministic point.
+  std::function<void(std::uint64_t)> progress_hook;
+
+  /// Pull one array's bytes back to the caller: from its home node, or
+  /// from the durable directory when the home is dead/gone.
+  [[nodiscard]] DataBuffer fetch_block(const std::string& name);
+
+  /// One ReportReq round over the live workers.
+  [[nodiscard]] std::map<NodeId, NodeReportMsg> collect_reports();
+
+  /// Send Shutdown to every live worker.
+  void shutdown_cluster();
+
+  [[nodiscard]] const std::set<NodeId>& dead_nodes() const noexcept { return dead_; }
+  [[nodiscard]] NodeId home_of(const std::string& name) const;
+
+ private:
+  struct ArrayInfo {
+    NodeId home = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// recv + peer bookkeeping (alive_/dead_ upkeep). Returns false on
+  /// timeout.
+  bool pump(RecvEvent& ev, int timeout_ms);
+  void refresh_alive();
+  [[nodiscard]] NodeId assign_node(const sched::Task& task,
+                                   const std::map<NodeId, std::set<sched::TaskId>>& inflight) const;
+
+  Transport& transport_;
+  CoordinatorConfig config_;
+  BlockStore store_;  ///< durable reads only (gather fallback)
+  std::map<std::string, ArrayInfo> arrays_;
+  std::set<NodeId> alive_;
+  std::set<NodeId> dead_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace dooc::net

@@ -1,0 +1,48 @@
+// Cluster manifest: one line per worker node saying where it listens.
+//
+//   # dooc cluster manifest
+//   node 0 unix:/tmp/dooc/n0.sock
+//   node 1 unix:/tmp/dooc/n1.sock
+//   node 2 tcp:127.0.0.1:7400
+//
+// Node ids must be dense 0..N-1. `doocd --manifest=F --node=I` hosts node
+// I and dials its peers; the launcher writes the manifest before spawning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dooc::net {
+
+struct NodeAddress {
+  enum class Kind : std::uint8_t { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  ///< Unix: socket path
+  std::string host;  ///< Tcp: host/IP
+  int port = 0;      ///< Tcp
+
+  [[nodiscard]] std::string to_string() const;
+  /// Parse "unix:/path" or "tcp:host:port"; throws InvalidArgument.
+  [[nodiscard]] static NodeAddress parse(const std::string& spec);
+};
+
+struct Manifest {
+  std::vector<NodeAddress> nodes;  ///< index == node id
+
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes.size()); }
+
+  [[nodiscard]] std::string to_text() const;
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] static Manifest parse(const std::string& text);
+  [[nodiscard]] static Manifest parse_file(const std::string& path);
+
+  /// N unix-socket nodes under `dir` (n<i>.sock) — the launcher default.
+  [[nodiscard]] static Manifest local_unix(const std::string& dir, int num_nodes);
+  /// N tcp nodes on 127.0.0.1, ports base..base+N-1.
+  [[nodiscard]] static Manifest local_tcp(int base_port, int num_nodes);
+};
+
+}  // namespace dooc::net

@@ -1,0 +1,347 @@
+#include "net/node_server.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "spmv/kernels.hpp"
+
+namespace dooc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string where_tag(NodeId node) { return "net.node[" + std::to_string(node) + "]"; }
+
+double quantile_of(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+}  // namespace
+
+NodeServer::NodeServer(std::unique_ptr<Transport> transport, NodeServerConfig config)
+    : transport_(std::move(transport)),
+      config_(config),
+      store_(config.durable_dir),
+      pool_(static_cast<std::size_t>(std::max(1, config.exec_threads))) {
+  exec_thread_ = std::thread([this] { exec_loop(); });
+}
+
+NodeServer::~NodeServer() {
+  {
+    std::lock_guard lock(exec_mutex_);
+    exec_stop_ = true;
+    exec_cv_.notify_all();
+  }
+  if (exec_thread_.joinable()) exec_thread_.join();
+}
+
+void NodeServer::run() {
+  DOOC_LOG(Info, where_tag(config_.node))
+      << "serving (pid " << ::getpid() << ", durable '" << config_.durable_dir << "')";
+  RecvEvent ev;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!transport_->recv(ev, 100)) continue;
+    switch (ev.kind) {
+      case RecvEvent::Kind::PeerUp:
+        DOOC_LOG(Debug, where_tag(config_.node)) << "peer " << ev.peer << " up";
+        break;
+      case RecvEvent::Kind::PeerDown:
+        handle_peer_down(ev);
+        break;
+      case RecvEvent::Kind::Frame:
+        if (ev.channel == Channel::Shutdown) {
+          DOOC_LOG(Info, where_tag(config_.node)) << "shutdown requested";
+          return;
+        }
+        handle_frame(ev);
+        break;
+    }
+  }
+}
+
+void NodeServer::handle_peer_down(const RecvEvent& ev) {
+  // A clean EOF is normal teardown (a peer got its Shutdown first); only
+  // truncated/reset connections deserve a warning.
+  if (ev.error == "peer closed connection") {
+    DOOC_LOG(Info, where_tag(config_.node)) << "peer " << ev.peer << " down: " << ev.error;
+  } else {
+    DOOC_LOG(Warn, where_tag(config_.node)) << "peer " << ev.peer << " down: " << ev.error;
+  }
+  // Fail every fetch waiting on that peer so the executor falls back to
+  // the durable copy instead of waiting out the full timeout.
+  std::lock_guard lock(fetch_mutex_);
+  for (auto it = pending_fetches_.begin(); it != pending_fetches_.end();) {
+    if (it->second->home == ev.peer) {
+      it->second->promise.set_exception(std::make_exception_ptr(
+          TransportError("home node " + std::to_string(ev.peer) + " went down: " + ev.error)));
+      it = pending_fetches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NodeServer::handle_frame(const RecvEvent& ev) {
+  switch (ev.channel) {
+    case Channel::PutBlock: {
+      const PutBlockMsg msg = PutBlockMsg::decode(ev.payload);
+      store_.put(msg.name, msg.bytes, /*durable=*/!msg.durable_elsewhere);
+      return;
+    }
+    case Channel::FetchReq: {
+      const FetchReqMsg msg = FetchReqMsg::decode(ev.payload);
+      DataBuffer bytes;
+      bool ok = store_.get(msg.name, bytes);
+      if (!ok && store_.durable_exists(msg.name)) {
+        try {
+          bytes = store_.load_durable(msg.name);
+          ok = true;
+        } catch (const IoError&) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        fetches_served_.fetch_add(1, std::memory_order_relaxed);
+        fetch_bytes_out_.fetch_add(bytes.size(), std::memory_order_relaxed);
+        const FetchOkMsg rep{msg.name, std::move(bytes)};
+        transport_->send(ev.peer, Channel::FetchOk, ev.tag, rep.encode());
+      } else {
+        const FetchFailMsg rep{msg.name, "block not stored on node " +
+                                             std::to_string(config_.node)};
+        transport_->send(ev.peer, Channel::FetchFail, ev.tag, rep.encode());
+      }
+      return;
+    }
+    case Channel::FetchOk: {
+      const FetchOkMsg msg = FetchOkMsg::decode(ev.payload);
+      std::lock_guard lock(fetch_mutex_);
+      auto it = pending_fetches_.find(ev.tag);
+      if (it == pending_fetches_.end()) return;  // fetch already timed out
+      it->second->promise.set_value(msg.bytes);
+      pending_fetches_.erase(it);
+      return;
+    }
+    case Channel::FetchFail: {
+      const FetchFailMsg msg = FetchFailMsg::decode(ev.payload);
+      std::lock_guard lock(fetch_mutex_);
+      auto it = pending_fetches_.find(ev.tag);
+      if (it == pending_fetches_.end()) return;
+      it->second->promise.set_exception(
+          std::make_exception_ptr(IoError("fetch '" + msg.name + "' failed: " + msg.error)));
+      pending_fetches_.erase(it);
+      return;
+    }
+    case Channel::ExecTask: {
+      ExecTaskMsg msg = ExecTaskMsg::decode(ev.payload);
+      std::lock_guard lock(exec_mutex_);
+      exec_queue_.emplace_back(ev.tag, std::move(msg));
+      exec_cv_.notify_one();
+      return;
+    }
+    case Channel::ReportReq: {
+      transport_->send(ev.peer, Channel::ReportRep, ev.tag, report().encode());
+      return;
+    }
+    default:
+      DOOC_LOG(Warn, where_tag(config_.node))
+          << "ignoring unexpected " << channel_name(ev.channel) << " frame from " << ev.peer;
+      return;
+  }
+}
+
+void NodeServer::exec_loop() {
+  for (;;) {
+    std::pair<std::uint64_t, ExecTaskMsg> item;
+    {
+      std::unique_lock lock(exec_mutex_);
+      exec_cv_.wait(lock, [&] { return exec_stop_ || !exec_queue_.empty(); });
+      if (exec_queue_.empty()) return;  // stop and drained
+      item = std::move(exec_queue_.front());
+      exec_queue_.pop_front();
+    }
+    exec_task(item.first, item.second);
+  }
+}
+
+DataBuffer NodeServer::fetch_remote(const TaskInput& in) {
+  const std::uint64_t tag = next_fetch_tag_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingFetch>();
+  pending->home = in.home;
+  std::future<DataBuffer> future = pending->promise.get_future();
+  {
+    std::lock_guard lock(fetch_mutex_);
+    pending_fetches_.emplace(tag, pending);
+  }
+  const auto t0 = Clock::now();
+  const FetchReqMsg req{in.array};
+  if (!transport_->send(in.home, Channel::FetchReq, tag, req.encode())) {
+    std::lock_guard lock(fetch_mutex_);
+    pending_fetches_.erase(tag);
+    throw TransportError("home node " + std::to_string(in.home) + " is not connected");
+  }
+  fetches_issued_.fetch_add(1, std::memory_order_relaxed);
+  if (future.wait_for(std::chrono::milliseconds(config_.fetch_timeout_ms)) !=
+      std::future_status::ready) {
+    std::lock_guard lock(fetch_mutex_);
+    pending_fetches_.erase(tag);
+    throw TransportError("fetch '" + in.array + "' from node " + std::to_string(in.home) +
+                         " timed out");
+  }
+  DataBuffer bytes = future.get();  // rethrows FetchFail / PeerDown
+  const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  fetch_bytes_in_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(fetch_hist_mutex_);
+    fetch_seconds_.push_back(seconds);
+  }
+  obs::Metrics::instance().histogram("net.fetch_seconds", config_.node).add(seconds);
+  return bytes;
+}
+
+DataBuffer NodeServer::acquire_input(const TaskInput& in, std::uint64_t& fetched_bytes,
+                                     std::uint64_t& durable_fallbacks) {
+  DataBuffer bytes;
+  if (store_.get(in.array, bytes)) return bytes;
+
+  std::string remote_error;
+  if (in.home != kDurableOnly && in.home != config_.node && transport_->peer_up(in.home)) {
+    try {
+      bytes = fetch_remote(in);
+      fetched_bytes += bytes.size();
+      // Cache: later tasks reading the same block stay node-local, which
+      // also keeps cross-node traffic deterministic for the bench gate.
+      store_.put_cached(in.array, bytes);
+      return bytes;
+    } catch (const Error& e) {
+      remote_error = e.what();
+    }
+  }
+
+  try {
+    bytes = store_.load_durable(in.array);
+  } catch (const IoError& e) {
+    throw IoError("input '" + in.array + "' unavailable: " +
+                  (remote_error.empty() ? std::string("home node ") + std::to_string(in.home) +
+                                              " unreachable"
+                                        : remote_error) +
+                  "; durable fallback failed: " + e.what());
+  }
+  durable_fallbacks += 1;
+  durable_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  store_.put_cached(in.array, bytes);
+  return bytes;
+}
+
+void NodeServer::exec_task(std::uint64_t task_id, const ExecTaskMsg& msg) {
+  TaskDoneMsg done;
+  const auto t0 = Clock::now();
+  try {
+    std::optional<obs::Span> span;
+    if (obs::trace_enabled()) span.emplace("task", msg.name, config_.node);
+
+    std::vector<DataBuffer> inputs;
+    inputs.reserve(msg.inputs.size());
+    for (const TaskInput& in : msg.inputs) {
+      inputs.push_back(acquire_input(in, done.fetched_bytes, done.durable_fallbacks));
+    }
+
+    spmv::KernelConfig kcfg;
+    kcfg.serial_nnz_threshold = msg.serial_nnz_threshold;
+
+    std::vector<DataBuffer> outputs;
+    for (const TaskOutput& out : msg.outputs) {
+      outputs.emplace_back(static_cast<std::size_t>(out.bytes));
+    }
+
+    if (msg.kind == "multiply") {
+      DOOC_REQUIRE(inputs.size() >= 2 && outputs.size() == 1, "multiply wants 2 inputs, 1 output");
+      spmv::multiply_any(inputs[0].span(), inputs[1].as<const double>(),
+                         outputs[0].as<double>(), pool_, kcfg);
+    } else if (msg.kind == "sum" || msg.kind == "aggregate") {
+      DOOC_REQUIRE(outputs.size() == 1, "sum wants 1 output");
+      // Sum the inputs shaped like the output, in input order (extra
+      // inputs are ordering-only sync tokens).
+      std::vector<std::span<const double>> parts;
+      for (const DataBuffer& in : inputs) {
+        if (in.size() == outputs[0].size()) parts.push_back(in.as<const double>());
+      }
+      DOOC_REQUIRE(!parts.empty(), "sum has no vector-shaped inputs");
+      spmv::sum_vectors(std::span<const std::span<const double>>(parts), outputs[0].as<double>(),
+                        pool_);
+    } else if (msg.kind == "sync") {
+      for (DataBuffer& out : outputs) std::fill(out.span().begin(), out.span().end(), std::byte{0});
+    } else {
+      throw InvalidArgument("task '" + msg.name + "': unknown kind '" + msg.kind + "'");
+    }
+
+    // Durable write-through *before* the ack: once the coordinator sees
+    // TaskDone, these outputs survive this process dying.
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      store_.put(msg.outputs[i].array, std::move(outputs[i]), /*durable=*/true);
+    }
+    done.ok = true;
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    done.ok = false;
+    done.error = e.what();
+    DOOC_LOG(Error, where_tag(config_.node)) << "task '" << msg.name << "' failed: " << e.what();
+  }
+  done.exec_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  transport_->send(kCoordinatorId, Channel::TaskDone, task_id, done.encode());
+}
+
+NodeReportMsg NodeServer::report() const {
+  NodeReportMsg rep;
+  rep.os_pid = static_cast<std::uint64_t>(::getpid());
+  rep.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  const BlockStore::Counters sc = store_.counters();
+  rep.blocks_stored = sc.blocks_stored;
+  rep.bytes_stored = sc.bytes_stored;
+  rep.fetches_served = fetches_served_.load(std::memory_order_relaxed);
+  rep.fetch_bytes_out = fetch_bytes_out_.load(std::memory_order_relaxed);
+  rep.fetches_issued = fetches_issued_.load(std::memory_order_relaxed);
+  rep.fetch_bytes_in = fetch_bytes_in_.load(std::memory_order_relaxed);
+  rep.durable_fallbacks = durable_fallbacks_.load(std::memory_order_relaxed);
+  const TransportCounters tc = transport_->counters();
+  rep.frames_sent = tc.frames_sent;
+  rep.frames_received = tc.frames_received;
+  rep.bytes_sent = tc.bytes_sent;
+  rep.bytes_received = tc.bytes_received;
+  {
+    std::lock_guard lock(fetch_hist_mutex_);
+    rep.fetch_p50_s = quantile_of(fetch_seconds_, 0.50);
+    rep.fetch_p99_s = quantile_of(fetch_seconds_, 0.99);
+    rep.fetch_max_s = fetch_seconds_.empty()
+                          ? 0.0
+                          : *std::max_element(fetch_seconds_.begin(), fetch_seconds_.end());
+  }
+  rep.trace_path = obs::TraceSession::instance().path();
+  return rep;
+}
+
+std::unique_ptr<SocketTransport> make_node_transport(const Manifest& manifest, NodeId node,
+                                                     SocketTransportConfig config,
+                                                     int connect_deadline_ms) {
+  DOOC_REQUIRE(node >= 0 && node < manifest.num_nodes(), "node id outside manifest");
+  config.self = node;
+  auto transport = SocketTransport::listen(manifest.nodes[node], config);
+  for (NodeId peer = 0; peer < node; ++peer) {
+    if (!transport->connect_peer(peer, manifest.nodes[peer], connect_deadline_ms)) {
+      throw TransportError("node " + std::to_string(node) + " cannot reach peer " +
+                           std::to_string(peer) + " at " + manifest.nodes[peer].to_string());
+    }
+  }
+  return transport;
+}
+
+}  // namespace dooc::net

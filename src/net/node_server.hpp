@@ -1,0 +1,117 @@
+// NodeServer: the body of one doocd process — one storage/executor node of
+// the cluster, behind a Transport.
+//
+// The recv loop owns the protocol: PutBlock stores deployed blocks
+// (durable write-through), FetchReq serves blocks to peers, ExecTask
+// enqueues work for the executor thread, ReportReq answers with the
+// node's counters, Shutdown ends the loop. The executor thread resolves
+// each task's inputs (local store -> remote fetch from the input's home ->
+// durable-file fallback when the home is gone), binds the task kind to the
+// same deterministic spmv kernels the in-process engine calls, stores the
+// outputs durably, and acks with TaskDone.
+//
+// Remote fetches are promise-based: the executor registers a pending
+// request keyed by frame tag, the recv loop fulfills it on FetchOk /
+// FetchFail — and fails it when the home peer goes down, which is what
+// converts a mid-run node death into a durable-file fallback instead of a
+// hang.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "net/block_store.hpp"
+#include "net/manifest.hpp"
+#include "net/protocol.hpp"
+#include "net/socket_transport.hpp"
+#include "net/transport.hpp"
+
+namespace dooc::net {
+
+struct NodeServerConfig {
+  NodeId node = 0;
+  /// Shared durable directory (empty disables write-through + fallback).
+  std::string durable_dir;
+  /// Threads in the kernel pool (results are bitwise independent of this;
+  /// see spmv/kernels.hpp).
+  int exec_threads = 1;
+  /// How long the executor waits for one remote fetch before falling back
+  /// to the durable file.
+  int fetch_timeout_ms = 10000;
+};
+
+class NodeServer {
+ public:
+  NodeServer(std::unique_ptr<Transport> transport, NodeServerConfig config);
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Serve until a Shutdown frame, stop(), or transport close. Blocking.
+  void run();
+
+  /// Ask run() to return (signal handlers set this via an atomic).
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] BlockStore& store() noexcept { return store_; }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] NodeReportMsg report() const;
+
+ private:
+  struct PendingFetch {
+    NodeId home = 0;
+    std::promise<DataBuffer> promise;
+  };
+
+  void handle_frame(const RecvEvent& ev);
+  void handle_peer_down(const RecvEvent& ev);
+  void exec_loop();
+  void exec_task(std::uint64_t task_id, const ExecTaskMsg& msg);
+  /// Resolve one input; throws Error when every source fails.
+  DataBuffer acquire_input(const TaskInput& in, std::uint64_t& fetched_bytes,
+                           std::uint64_t& durable_fallbacks);
+  DataBuffer fetch_remote(const TaskInput& in);
+
+  std::unique_ptr<Transport> transport_;
+  NodeServerConfig config_;
+  BlockStore store_;
+  ThreadPool pool_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex exec_mutex_;
+  std::condition_variable exec_cv_;
+  std::deque<std::pair<std::uint64_t, ExecTaskMsg>> exec_queue_;
+  bool exec_stop_ = false;
+  std::thread exec_thread_;
+
+  std::mutex fetch_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<PendingFetch>> pending_fetches_;
+  std::atomic<std::uint64_t> next_fetch_tag_{1};
+
+  // Report counters (recv loop + executor touch them; all atomics).
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> fetches_served_{0};
+  std::atomic<std::uint64_t> fetch_bytes_out_{0};
+  std::atomic<std::uint64_t> fetches_issued_{0};
+  std::atomic<std::uint64_t> fetch_bytes_in_{0};
+  std::atomic<std::uint64_t> durable_fallbacks_{0};
+  mutable std::mutex fetch_hist_mutex_;
+  std::vector<double> fetch_seconds_;  ///< per-fetch round-trip samples
+};
+
+/// The daemon's transport: listen on `manifest.nodes[node]`, then dial
+/// every lower-id peer (the mesh convention: exactly one connection per
+/// worker pair; the coordinator dials everyone). Throws TransportError
+/// when a peer cannot be reached before the deadline.
+[[nodiscard]] std::unique_ptr<SocketTransport> make_node_transport(
+    const Manifest& manifest, NodeId node, SocketTransportConfig config,
+    int connect_deadline_ms = 10000);
+
+}  // namespace dooc::net

@@ -1,0 +1,74 @@
+// End-to-end iterated-SpMV workload over the wire backend: generate the
+// paper's uniform-gap matrix, cut it into the K×K grid, ship every block
+// and x0 part to its home node, build the same task graph the in-process
+// engine executes (graph-only IteratedSpmv over a VirtualArrayCreator),
+// run it through the Coordinator, and gather the final iterate.
+//
+// The whole pipeline is deterministic in SpmvJobConfig: the same config
+// run through the single-process sched::Engine (reference()) yields
+// bitwise-identical result vectors — the parity property bench_net_smoke
+// and the kill-a-node failover path both assert.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/coordinator.hpp"
+#include "solver/iterated_spmv.hpp"
+#include "spmv/block_grid.hpp"
+
+namespace dooc::net {
+
+struct SpmvJobConfig {
+  std::uint64_t n = 2048;  ///< global matrix dimension
+  int grid_k = 4;          ///< K×K block grid
+  int iterations = 3;
+  int num_nodes = 4;
+  double gap_d = 4.0;  ///< uniform-gap parameter (§V)
+  std::uint64_t seed = 0xD00C;
+  bool inter_iteration_sync = true;
+  solver::ReductionMode mode = solver::ReductionMode::Interleaved;
+};
+
+/// x0 seed values, shared by the wire and reference paths.
+[[nodiscard]] double spmv_x0_value(std::uint64_t i);
+
+class SpmvJob {
+ public:
+  /// Generates the matrix and cuts + serializes every grid block (block
+  /// (u, v) is owned by node v mod num_nodes — column strips, Fig. 5).
+  explicit SpmvJob(SpmvJobConfig config);
+
+  [[nodiscard]] const SpmvJobConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const spmv::DeployedMatrix& matrix() const noexcept { return matrix_; }
+
+  /// Ship matrix blocks + x0 parts to their home nodes via PutBlock and
+  /// register their homes with the coordinator.
+  void deploy(Coordinator& coord) const;
+
+  /// Build the task graph (graph-only mode; returns the owning driver —
+  /// the graph lives inside it).
+  [[nodiscard]] std::unique_ptr<solver::IteratedSpmv> build_graph() const;
+
+  /// Pull the final iterate back through the coordinator.
+  [[nodiscard]] std::vector<double> gather(Coordinator& coord) const;
+
+  /// The same workload through the single-process engine: deploy into a
+  /// real StorageCluster under `scratch_dir`, run sched::Engine, gather.
+  /// The bitwise parity reference.
+  [[nodiscard]] std::vector<double> reference(const std::string& scratch_dir) const;
+
+  /// Column-strip ownership: node i owns A_{*,i} (mod N); `u` is unused
+  /// but kept for BlockOwner signature compatibility.
+  [[nodiscard]] int owner_of([[maybe_unused]] int u, int v) const noexcept {
+    return v % config_.num_nodes;
+  }
+
+ private:
+  SpmvJobConfig config_;
+  spmv::CsrMatrix global_;
+  spmv::DeployedMatrix matrix_;
+  std::vector<std::vector<std::byte>> block_bytes_;  ///< [u * k + v]
+};
+
+}  // namespace dooc::net

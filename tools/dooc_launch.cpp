@@ -1,0 +1,186 @@
+// dooc_launch — spawn an N-process doocd cluster on this machine, run a
+// workload through it, collect per-node reports/metrics/traces, tear down.
+//
+//   dooc_launch --nodes=4 [--transport=unix|tcp] [--base-port=7400]
+//               [--workdir=DIR] [--workload=spmv] [--n=2048] [--grid-k=4]
+//               [--iterations=3] [--exec-threads=1] [--verify]
+//               [--trace] [--kill-node=I --kill-after-tasks=T]
+//               [--metrics-out=FILE] [--log-level=LVL]
+//
+// --verify re-runs the same workload through the single-process engine and
+// compares result vectors bitwise. --kill-node SIGKILLs one daemon after T
+// completed tasks to exercise re-queue + durable-fallback failover.
+// --metrics-out writes the merged per-node counters in Prometheus text
+// format. Traces land in <workdir>/traces/node<i>.json, one per real pid.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "net/launch.hpp"
+#include "net/socket_transport.hpp"
+#include "net/spmv_job.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+dooc::LogLevel parse_level(const std::string& s) {
+  if (s == "trace") return dooc::LogLevel::Trace;
+  if (s == "debug") return dooc::LogLevel::Debug;
+  if (s == "info") return dooc::LogLevel::Info;
+  if (s == "error") return dooc::LogLevel::Error;
+  return s == "warn" ? dooc::LogLevel::Warn : dooc::LogLevel::Info;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dooc;
+  namespace fs = std::filesystem;
+  const Options opts = Options::from_args(argc, argv);
+  Log::set_level(parse_level(opts.get("log-level", "info")));
+
+  const int nodes = static_cast<int>(opts.get_int("nodes", 4));
+  const std::string workload = opts.get("workload", "spmv");
+  if (nodes < 1 || workload != "spmv") {
+    std::fprintf(stderr, "dooc_launch: --nodes must be >= 1 and --workload=spmv\n");
+    return 2;
+  }
+
+  const std::string workdir =
+      opts.get("workdir", "/tmp/dooc_launch." + std::to_string(::getpid()));
+  const std::string durable_dir = workdir + "/durable";
+  const std::string trace_dir = workdir + "/traces";
+  fs::create_directories(durable_dir);
+  if (opts.get_bool("trace", false)) fs::create_directories(trace_dir);
+
+  try {
+    net::LaunchConfig lcfg;
+    lcfg.manifest = opts.get("transport", "unix") == "tcp"
+                        ? net::Manifest::local_tcp(
+                              static_cast<int>(opts.get_int("base-port", 7400)), nodes)
+                        : net::Manifest::local_unix(workdir, nodes);
+    lcfg.manifest_path = workdir + "/manifest.txt";
+    lcfg.durable_dir = durable_dir;
+    lcfg.doocd_path = opts.get("doocd");
+    lcfg.trace_dir = opts.get_bool("trace", false) ? trace_dir : "";
+    lcfg.exec_threads = static_cast<int>(opts.get_int("exec-threads", 1));
+    lcfg.log_level = opts.get("log-level", "warn");
+
+    net::ClusterLauncher launcher(lcfg);
+    launcher.spawn_all();
+
+    net::SocketTransportConfig tcfg;
+    tcfg.self = net::kCoordinatorId;
+    auto transport = net::SocketTransport::client(tcfg);
+    for (net::NodeId i = 0; i < nodes; ++i) {
+      if (!transport->connect_peer(i, lcfg.manifest.nodes[i])) {
+        std::fprintf(stderr, "dooc_launch: node %d did not come up\n", i);
+        return 1;
+      }
+    }
+    std::printf("cluster up: %d nodes (%s)\n", nodes,
+                lcfg.manifest.nodes[0].to_string().c_str());
+
+    net::CoordinatorConfig ccfg;
+    ccfg.num_nodes = nodes;
+    ccfg.durable_dir = durable_dir;
+    net::Coordinator coord(*transport, ccfg);
+
+    net::SpmvJobConfig jcfg;
+    jcfg.n = static_cast<std::uint64_t>(opts.get_int("n", 2048));
+    jcfg.grid_k = static_cast<int>(opts.get_int("grid-k", 4));
+    jcfg.iterations = static_cast<int>(opts.get_int("iterations", 3));
+    jcfg.num_nodes = nodes;
+    const net::SpmvJob job(jcfg);
+    job.deploy(coord);
+    const auto driver = job.build_graph();
+
+    const auto kill_node = static_cast<net::NodeId>(opts.get_int("kill-node", -1));
+    const auto kill_after = static_cast<std::uint64_t>(opts.get_int("kill-after-tasks", 0));
+    bool killed = false;
+    if (kill_node >= 0) {
+      coord.progress_hook = [&](std::uint64_t done) {
+        if (!killed && done >= kill_after) {
+          killed = true;
+          std::printf("killing node %d (pid %d) after %" PRIu64 " tasks\n", kill_node,
+                      static_cast<int>(launcher.pid(kill_node)), done);
+          launcher.kill_node(kill_node);
+        }
+      };
+    }
+
+    const net::RunResult run = coord.run(driver->graph());
+    if (!run.ok) {
+      std::fprintf(stderr, "dooc_launch: run failed: %s\n", run.error.c_str());
+      launcher.terminate_all();
+      return 1;
+    }
+    std::printf("run ok: %" PRIu64 "/%" PRIu64 " tasks in %.3fs (%" PRIu64
+                " retries, %" PRIu64 " re-queued after death, %zu dead nodes)\n",
+                run.tasks_executed, run.tasks_total, run.makespan_s, run.retries,
+                run.requeued_after_death, run.dead_nodes.size());
+
+    const std::vector<double> result = job.gather(coord);
+    if (opts.get_bool("verify", false)) {
+      const std::string scratch = workdir + "/scratch";
+      fs::create_directories(scratch);
+      const std::vector<double> expect = job.reference(scratch);
+      if (result.size() != expect.size() ||
+          std::memcmp(result.data(), expect.data(), result.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr, "dooc_launch: VERIFY FAILED — wire result != in-process result\n");
+        launcher.terminate_all();
+        return 1;
+      }
+      std::printf("verify ok: bitwise identical to the in-process engine (%zu doubles)\n",
+                  result.size());
+    }
+
+    // Per-node reports (and merged metrics) before tearing the cluster down.
+    const auto reports = coord.collect_reports();
+    obs::MetricsSnapshot merged;
+    std::printf("%-5s %-8s %-7s %-12s %-9s %-12s %-10s %s\n", "node", "pid", "tasks",
+                "bytes_stored", "fetches", "fetch_bytes", "durable_fb", "trace");
+    for (const auto& [id, rep] : reports) {
+      std::printf("%-5d %-8" PRIu64 " %-7" PRIu64 " %-12" PRIu64 " %-9" PRIu64 " %-12" PRIu64
+                  " %-10" PRIu64 " %s\n",
+                  id, rep.os_pid, rep.tasks_executed, rep.bytes_stored, rep.fetches_issued,
+                  rep.fetch_bytes_in, rep.durable_fallbacks,
+                  rep.trace_path.empty() ? "-" : rep.trace_path.c_str());
+      auto& entry = merged.entries[{"dooc_node_tasks_executed", id}];
+      entry.kind = obs::MetricKind::Counter;
+      entry.count = rep.tasks_executed;
+      auto& fb = merged.entries[{"dooc_node_fetch_bytes_in", id}];
+      fb.kind = obs::MetricKind::Counter;
+      fb.count = rep.fetch_bytes_in;
+      auto& df = merged.entries[{"dooc_node_durable_fallbacks", id}];
+      df.kind = obs::MetricKind::Counter;
+      df.count = rep.durable_fallbacks;
+    }
+    if (const std::string out = opts.get("metrics-out"); !out.empty()) {
+      if (FILE* f = std::fopen(out.c_str(), "w"); f != nullptr) {
+        const std::string text = merged.to_prometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("metrics -> %s\n", out.c_str());
+      }
+    }
+
+    coord.shutdown_cluster();
+    transport->close();
+    // kill_node() already reaped the killed daemon, so any abnormal exit
+    // wait_all() still sees is unexpected.
+    const int failures = launcher.wait_all(5000);
+    if (failures > 0) {
+      std::fprintf(stderr, "dooc_launch: %d nodes exited abnormally\n", failures);
+      return 1;
+    }
+    std::printf("teardown clean\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dooc_launch: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,9 +7,16 @@
 // obs::causal analysis; --metrics re-exports the trace's Counter samples
 // in Prometheus text format.
 //
-// Usage:  dooc_tracecat trace.json [--top=10] [--cat=task]
+// Usage:  dooc_tracecat trace.json [trace2.json ...] [--top=10] [--cat=task]
 //                       [--critical-path] [--blame] [--what-if=io:0]
 //                       [--metrics]
+//
+// Several traces may be given at once — the per-process files a
+// dooc_launch cluster writes (node0.json node1.json ...). Each file gets
+// its own summary; --metrics merges every file's counter samples into one
+// unified Prometheus export (samples stay distinguishable through their
+// per-process node/pid label). The causal analyses need one process's
+// flow graph and reject a multi-file invocation.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -51,29 +58,74 @@ obs::MetricsSnapshot snapshot_from_trace(const std::vector<obs::ParsedEvent>& ev
   return snap;
 }
 
+/// The single-trace report (phase table, overlap, waits, slowest events).
+void report_one(const std::string& path, const std::vector<obs::ParsedEvent>& events,
+                std::size_t top_n, const std::string& cat);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = Options::from_args(argc, argv);
   if (opts.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: dooc_tracecat <trace.json> [--top=10] [--cat=task]\n"
+                 "usage: dooc_tracecat <trace.json> [more.json ...] [--top=10] [--cat=task]\n"
                  "                     [--critical-path] [--blame] [--what-if=CAT:FACTOR]\n"
                  "                     [--metrics]\n");
     return 2;
   }
-  const std::string path = opts.positional().front();
+  const std::vector<std::string>& paths = opts.positional();
   const auto top_n = static_cast<std::size_t>(opts.get_int("top", 10));
   const std::string cat = opts.get("cat", "task");
 
-  std::vector<obs::ParsedEvent> events;
-  try {
-    events = obs::load_chrome_trace(path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "dooc_tracecat: %s\n", e.what());
-    return 1;
+  obs::MetricsSnapshot merged;
+  std::vector<obs::ParsedEvent> events;  // the last file's events (causal)
+  bool first = true;
+  for (const std::string& path : paths) {
+    try {
+      events = obs::load_chrome_trace(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dooc_tracecat: %s\n", e.what());
+      return 1;
+    }
+    merged.merge(snapshot_from_trace(events));
+    if (!first) std::printf("\n");
+    first = false;
+    report_one(path, events, top_n, cat);
   }
 
+  const bool want_path = opts.contains("critical-path");
+  const bool want_blame = opts.contains("blame");
+  std::vector<std::pair<std::string, double>> what_ifs;
+  if (opts.contains("what-if")) {
+    std::pair<std::string, double> wi;
+    if (!parse_what_if(opts.get("what-if"), wi)) {
+      std::fprintf(stderr, "dooc_tracecat: --what-if wants CATEGORY:FACTOR (e.g. io:0)\n");
+      return 2;
+    }
+    what_ifs.push_back(std::move(wi));
+  }
+  if (want_path || want_blame || !what_ifs.empty()) {
+    if (paths.size() != 1) {
+      std::fprintf(stderr,
+                   "dooc_tracecat: the causal analyses follow one process's flow graph; "
+                   "pass a single trace file\n");
+      return 2;
+    }
+    const auto graph = obs::causal::CausalGraph::build(events);
+    std::printf("\n%s", obs::causal::causal_report(graph, want_path, want_blame, what_ifs).c_str());
+  }
+
+  if (opts.contains("metrics")) {
+    std::printf("\n== metrics (prometheus, %zu trace file%s) ==\n%s", paths.size(),
+                paths.size() == 1 ? "" : "s", merged.to_prometheus().c_str());
+  }
+  return 0;
+}
+
+namespace {
+
+void report_one(const std::string& path, const std::vector<obs::ParsedEvent>& events,
+                std::size_t top_n, const std::string& cat) {
   const obs::TraceSummary s = obs::summarize(events);
   std::printf("%s: %zu events, wall %.3f ms\n\n", path.c_str(), events.size(),
               s.wall_us * 1e-3);
@@ -120,26 +172,6 @@ int main(int argc, char** argv) {
       std::printf("  %10.3f ms  node %-3d %s\n", ev.dur_us * 1e-3, ev.pid, ev.name.c_str());
     }
   }
-
-  const bool want_path = opts.contains("critical-path");
-  const bool want_blame = opts.contains("blame");
-  std::vector<std::pair<std::string, double>> what_ifs;
-  if (opts.contains("what-if")) {
-    std::pair<std::string, double> wi;
-    if (!parse_what_if(opts.get("what-if"), wi)) {
-      std::fprintf(stderr, "dooc_tracecat: --what-if wants CATEGORY:FACTOR (e.g. io:0)\n");
-      return 2;
-    }
-    what_ifs.push_back(std::move(wi));
-  }
-  if (want_path || want_blame || !what_ifs.empty()) {
-    const auto graph = obs::causal::CausalGraph::build(events);
-    std::printf("\n%s", obs::causal::causal_report(graph, want_path, want_blame, what_ifs).c_str());
-  }
-
-  if (opts.contains("metrics")) {
-    std::printf("\n== metrics (prometheus) ==\n%s",
-                snapshot_from_trace(events).to_prometheus().c_str());
-  }
-  return 0;
 }
+
+}  // namespace
