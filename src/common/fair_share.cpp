@@ -1,0 +1,148 @@
+#include "common/fair_share.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace dooc {
+
+void FairShare::set_tenant(TenantId t, double weight, int priority) {
+  DOOC_REQUIRE(weight > 0.0, "fair-share weight must be positive");
+  Account& a = account(t);
+  a.weight = weight;
+  a.priority = priority;
+}
+
+void FairShare::retire(TenantId t) {
+  auto it = accounts_.find(t);
+  if (it == accounts_.end()) return;
+  if (it->second.inflight == 0) {
+    accounts_.erase(it);
+  } else {
+    // Charges still draining: reset the scheduling state only; release()
+    // removes the account once the last charge returns.
+    it->second.weight = 1.0;
+    it->second.priority = 0;
+    it->second.deficit = 0;
+    it->second.retired = true;
+  }
+}
+
+const FairShare::Account* FairShare::find(TenantId t) const {
+  auto it = accounts_.find(t);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+bool FairShare::fits_budget(std::uint64_t bytes) const {
+  if (cfg_.budget_bytes == 0) return true;
+  if (inflight_total_ == 0) return true;
+  return inflight_total_ + bytes <= cfg_.budget_bytes;
+}
+
+std::uint64_t FairShare::cap_bytes() const {
+  const double frac = std::clamp(cfg_.share_cap, 0.0, 1.0);
+  return static_cast<std::uint64_t>(frac * static_cast<double>(cfg_.budget_bytes));
+}
+
+bool FairShare::under_cap(TenantId t, std::uint64_t bytes) const {
+  const Account* a = find(t);
+  const std::uint64_t held = a == nullptr ? 0 : a->inflight;
+  // A tenant with nothing in flight may always start one load, even one
+  // bigger than its cap — the cap bounds hoarding, it never starves.
+  if (held == 0) return true;
+  return held + bytes <= cap_bytes();
+}
+
+bool FairShare::try_admit(TenantId t, std::uint64_t bytes, bool others_waiting) const {
+  if (cfg_.budget_bytes == 0) return true;
+  if (!fits_budget(bytes)) return false;
+  if (others_waiting && !under_cap(t, bytes)) return false;
+  return true;
+}
+
+TenantId FairShare::pick(const std::vector<Head>& heads, std::uint64_t now_ns) {
+  if (heads.empty()) return kNone;
+
+  // Aging override first, across every priority tier: the longest-waiting
+  // starved head gets the next budget room, full stop. If even that head
+  // does not fit, nothing may jump it.
+  const Head* starved = nullptr;
+  for (const Head& h : heads) {
+    if (now_ns - h.waiting_since_ns < cfg_.starvation_ns) continue;
+    if (starved == nullptr || h.waiting_since_ns < starved->waiting_since_ns) starved = &h;
+  }
+  if (starved != nullptr) {
+    if (!fits_budget(starved->bytes)) return kNone;
+    ++starvation_overrides_;
+    account(starved->tenant).deficit = 0;
+    rr_cursor_ = starved->tenant;
+    return starved->tenant;
+  }
+
+  // Strict priority: only the highest tier present competes; lower tiers
+  // wait (the aging override above is their guarantee of progress).
+  int top = account(heads.front().tenant).priority;
+  for (const Head& h : heads) top = std::max(top, account(h.tenant).priority);
+  std::vector<const Head*> tier;
+  tier.reserve(heads.size());
+  for (const Head& h : heads) {
+    if (account(h.tenant).priority == top) tier.push_back(&h);
+  }
+  std::sort(tier.begin(), tier.end(),
+            [](const Head* a, const Head* b) { return a->tenant < b->tenant; });
+
+  // Round-robin start: the tenant after the last grant.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < tier.size(); ++i) {
+    if (tier[i]->tenant > rr_cursor_ || rr_cursor_ == kNone) {
+      start = i;
+      break;
+    }
+  }
+
+  const bool contended = tier.size() > 1 || heads.size() > 1;
+  // Deficits grow each round, so once every head's deficit covers its
+  // bytes and still nothing starts, the blocker is budget/cap — give up.
+  while (true) {
+    bool all_credited = true;
+    for (std::size_t k = 0; k < tier.size(); ++k) {
+      const Head& h = *tier[(start + k) % tier.size()];
+      Account& a = account(h.tenant);
+      if (a.deficit < h.bytes) {
+        a.deficit += static_cast<std::uint64_t>(
+            static_cast<double>(cfg_.quantum_bytes) * a.weight);
+        all_credited = false;
+      }
+      if (a.deficit < h.bytes) continue;
+      if (!fits_budget(h.bytes)) continue;
+      if (contended && !under_cap(h.tenant, h.bytes)) continue;
+      a.deficit -= h.bytes;
+      rr_cursor_ = h.tenant;
+      return h.tenant;
+    }
+    if (all_credited) return kNone;
+  }
+}
+
+void FairShare::charge(TenantId t, std::uint64_t bytes) {
+  account(t).inflight += bytes;
+  inflight_total_ += bytes;
+}
+
+void FairShare::release(TenantId t, std::uint64_t bytes) {
+  auto it = accounts_.find(t);
+  DOOC_CHECK(it != accounts_.end() && it->second.inflight >= bytes,
+             "fair-share release without matching charge");
+  it->second.inflight -= bytes;
+  DOOC_CHECK(inflight_total_ >= bytes, "fair-share total underflow");
+  inflight_total_ -= bytes;
+  if (it->second.retired && it->second.inflight == 0) accounts_.erase(it);
+}
+
+std::uint64_t FairShare::inflight(TenantId t) const {
+  const Account* a = find(t);
+  return a == nullptr ? 0 : a->inflight;
+}
+
+}  // namespace dooc

@@ -1,0 +1,122 @@
+// Weighted-deficit-round-robin arbitration of a shared byte budget across
+// tenants (jobs). The storage layer uses it to split the
+// max_inflight_load_bytes admission budget into per-job accounted shares;
+// the DES reuses it under virtual time so multiplexed scheduling replays
+// identically.
+//
+// Three mechanisms compose:
+//  * WDRR deficits: each round a queued tenant earns quantum*weight bytes
+//    of credit; its head load starts once the credit covers it — so over
+//    time tenants receive budget in proportion to their weights.
+//  * A per-tenant share cap (share_cap * budget) that applies only while
+//    another tenant is waiting: the starvation guard — one huge job cannot
+//    monopolize the inflight budget when others have parked loads.
+//  * An aging override: a head parked longer than starvation_ns jumps the
+//    deficit order entirely (subject only to the global budget), so strict
+//    priorities and skewed weights can never starve a tenant outright.
+//
+// Pure logic, no threads, no clock: callers pass now_ns (wall clock in the
+// real storage node, virtual ns in the DES, a fake in tests) and hold
+// their own lock. The single-tenant behaviour is bit-for-bit the legacy
+// admission rule: admit unless (something in flight AND the load would
+// exceed the budget); an oversized load flies alone rather than starving.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dooc {
+
+/// Tenant identity: a job id. 0 is the default tenant (legacy single-run
+/// callers that never mention jobs).
+using TenantId = std::uint32_t;
+constexpr TenantId kDefaultTenant = 0;
+
+struct FairShareConfig {
+  /// Shared byte budget (0 = unlimited: every admit succeeds).
+  std::uint64_t budget_bytes = 0;
+  /// WDRR credit a weight-1.0 tenant earns per arbitration round.
+  std::uint64_t quantum_bytes = 256ull << 10;
+  /// Fraction of the budget one tenant may hold in flight while another
+  /// tenant is waiting (the starvation guard). Clamped to (0, 1].
+  double share_cap = 0.5;
+  /// A queued head older than this bypasses deficit/cap order (aging).
+  std::uint64_t starvation_ns = 250'000'000;
+};
+
+class FairShare {
+ public:
+  static constexpr TenantId kNone = static_cast<TenantId>(-1);
+
+  FairShare() = default;
+  explicit FairShare(FairShareConfig cfg) : cfg_(cfg) {}
+
+  void set_config(const FairShareConfig& cfg) { cfg_ = cfg; }
+  [[nodiscard]] const FairShareConfig& config() const noexcept { return cfg_; }
+
+  /// Register / update a tenant's weight (relative budget share) and
+  /// priority (higher arbitrates first). Unknown tenants behave as
+  /// weight 1.0, priority 0.
+  void set_tenant(TenantId t, double weight, int priority = 0);
+  /// Forget a tenant's weight/deficit. Outstanding charges keep draining
+  /// through release() — retiring never leaks budget.
+  void retire(TenantId t);
+
+  /// May a new load of `bytes` for `t` start right now, ahead of any queue?
+  /// Pure check — the caller charges separately on success.
+  /// `others_waiting`: some other tenant has loads parked, which arms the
+  /// per-tenant share cap.
+  [[nodiscard]] bool try_admit(TenantId t, std::uint64_t bytes, bool others_waiting) const;
+
+  /// One parked queue head per tenant, competing for the next grant.
+  struct Head {
+    TenantId tenant = kDefaultTenant;
+    std::uint64_t bytes = 0;
+    std::uint64_t waiting_since_ns = 0;
+  };
+  /// Arbitrate: which head may start now? kNone when the budget has no
+  /// room (or `heads` is empty). A granted tenant's deficit is debited and
+  /// the round-robin cursor advances; the caller must then charge() the
+  /// granted bytes before the next pick().
+  TenantId pick(const std::vector<Head>& heads, std::uint64_t now_ns);
+
+  /// Account `bytes` of in-flight load to `t`.
+  void charge(TenantId t, std::uint64_t bytes);
+  /// Return `bytes` of budget charged to `t`.
+  void release(TenantId t, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t inflight(TenantId t) const;
+  [[nodiscard]] std::uint64_t inflight_total() const noexcept { return inflight_total_; }
+  /// The per-tenant cap in bytes while contended.
+  [[nodiscard]] std::uint64_t cap_bytes() const;
+  /// How often the aging override fired (observability).
+  [[nodiscard]] std::uint64_t starvation_overrides() const noexcept {
+    return starvation_overrides_;
+  }
+
+ private:
+  struct Account {
+    double weight = 1.0;
+    int priority = 0;
+    std::uint64_t inflight = 0;
+    std::uint64_t deficit = 0;
+    bool retired = false;  ///< erase once the last charge releases
+  };
+
+  Account& account(TenantId t) { return accounts_[t]; }
+  [[nodiscard]] const Account* find(TenantId t) const;
+  /// Global budget check: room left, or nothing at all in flight (an
+  /// oversized load flies alone rather than starving).
+  [[nodiscard]] bool fits_budget(std::uint64_t bytes) const;
+  /// Share-cap check for a contended grant.
+  [[nodiscard]] bool under_cap(TenantId t, std::uint64_t bytes) const;
+
+  FairShareConfig cfg_;
+  std::unordered_map<TenantId, Account> accounts_;
+  std::uint64_t inflight_total_ = 0;
+  TenantId rr_cursor_ = kNone;  ///< last granted tenant (round-robin resume)
+  std::uint64_t starvation_overrides_ = 0;
+};
+
+}  // namespace dooc

@@ -1,0 +1,59 @@
+// Job identity and namespacing for the multi-tenant runtime.
+//
+// A job is one built TaskGraph submitted for execution. The job id is the
+// single identity that threads through every layer: it keys the per-job
+// ExecutorCore in the engine, travels as the storage tenant on every read
+// the job issues (fair-share admission), rides in the high 16 bits of
+// completion tags, and lands as the "job" arg on every trace span and
+// causal flow the job emits — so Reports, blame and critical-path analyses
+// come out per job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dooc::jobs {
+
+using JobId = std::uint32_t;
+
+/// Array-name prefix of a job's private namespace. '.' as the separator
+/// because the storage layer reserves '/' in array names (scratch paths).
+inline std::string job_array_prefix(JobId id) { return "j" + std::to_string(id) + "."; }
+
+/// `name` moved into job `id`'s namespace.
+inline std::string namespaced(JobId id, const std::string& name) {
+  return job_array_prefix(id) + name;
+}
+
+/// The admission queue is full: the job was rejected, not queued. Callers
+/// may retry after a running job finishes.
+class AdmissionError : public Error {
+ public:
+  explicit AdmissionError(const std::string& what) : Error(what) {}
+};
+
+enum class JobState {
+  Queued,    ///< admitted but waiting for an active slot
+  Running,   ///< submitted to the engine
+  Finished,  ///< settled; await() will not block
+  Unknown,   ///< never seen, or already awaited (reaped)
+};
+
+/// Per-job knobs for JobManager::submit.
+struct JobOptions {
+  /// Fair-share weight of the job's storage admission share (relative).
+  double weight = 1.0;
+  /// Compute priority: strict between tiers, round-robin within one.
+  int priority = 0;
+  /// Clone every array the graph writes into the job's `j<id>.` namespace
+  /// (same geometry and home node) and rename the graph to match, so two
+  /// jobs running the same graph concurrently never alias blocks. Arrays
+  /// the graph only reads stay shared. Off by default: a graph whose
+  /// arrays are already private needs no clone, and an un-renamed single
+  /// job is bitwise-identical to the pre-multi-tenant engine.
+  bool namespace_arrays = false;
+};
+
+}  // namespace dooc::jobs

@@ -52,8 +52,8 @@ struct Event {
   std::int32_t tid = 0;      ///< worker-thread / lane id
   Phase phase = Phase::Instant;
   std::uint8_t nargs = 0;
-  std::uint32_t arg_name[2] = {0, 0};
-  std::uint64_t arg_val[2] = {0, 0};
+  std::uint32_t arg_name[3] = {0, 0, 0};
+  std::uint64_t arg_val[3] = {0, 0, 0};
 };
 
 /// Intern a string for use in Event::name / cat / arg_name. Cheap for
@@ -160,7 +160,8 @@ inline void emit_counter(std::uint32_t cat, std::uint32_t name, std::int32_t pid
 /// span the point should bind to, on the same pid/tid lane.
 inline void emit_flow(Phase phase, std::uint32_t cat, std::uint32_t name, std::int32_t pid,
                       std::int32_t tid, std::uint64_t ts_ns, std::uint64_t flow_id,
-                      std::uint32_t arg_name = 0, std::uint64_t arg_val = 0) {
+                      std::uint32_t arg_name = 0, std::uint64_t arg_val = 0,
+                      std::uint32_t arg2_name = 0, std::uint64_t arg2_val = 0) {
   Event ev;
   ev.phase = phase;
   ev.cat = cat;
@@ -173,6 +174,11 @@ inline void emit_flow(Phase phase, std::uint32_t cat, std::uint32_t name, std::i
     ev.nargs = 1;
     ev.arg_name[0] = arg_name;
     ev.arg_val[0] = arg_val;
+  }
+  if (arg2_name != 0) {
+    ev.arg_name[ev.nargs] = arg2_name;
+    ev.arg_val[ev.nargs] = arg2_val;
+    ++ev.nargs;
   }
   TraceSession::instance().emit(ev);
 }
@@ -198,7 +204,7 @@ class Span {
   }
 
   Span& arg(std::string_view name, std::uint64_t value) {
-    if (ev_.nargs < 2) {
+    if (ev_.nargs < 3) {
       ev_.arg_name[ev_.nargs] = intern(name);
       ev_.arg_val[ev_.nargs] = value;
       ++ev_.nargs;

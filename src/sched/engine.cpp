@@ -36,14 +36,17 @@ storage::StorageStats delta(const storage::StorageStats& after, const storage::S
   return d;
 }
 
-/// Completion tag layout: | epoch:16 | task:32 | attempt:4 | input:12 |.
-/// The epoch lets a later run() discard completions a previous (aborted)
-/// run left in the queue; the attempt nibble lets the fault path discard
-/// completions of a staging that was already torn down by a retry — without
-/// it, a straggler read of attempt N could double-count an input of
-/// attempt N+1 and promote the task to Runnable with loads still in flight.
-std::uint64_t make_tag(std::uint64_t epoch, TaskId t, int attempt, std::size_t input_index) {
-  return ((epoch & 0xFFFFull) << 48) | (static_cast<std::uint64_t>(t) << 16) |
+/// Completion tag layout: | job:16 | task:32 | attempt:4 | input:12 |.
+/// The job field routes a completion to its job's core and lets stragglers
+/// of a finished (or failed) job be dropped at the queue; the attempt
+/// nibble lets the fault path discard completions of a staging that was
+/// already torn down by a retry — without it, a straggler read of attempt
+/// N could double-count an input of attempt N+1 and promote the task to
+/// Runnable with loads still in flight. (Live jobs whose ids collide in
+/// the low 16 bits are rejected at submit.)
+std::uint64_t make_tag(std::uint32_t job, TaskId t, int attempt, std::size_t input_index) {
+  return ((static_cast<std::uint64_t>(job) & 0xFFFFull) << 48) |
+         (static_cast<std::uint64_t>(t) << 16) |
          ((static_cast<std::uint64_t>(attempt) & 0xFull) << 12) | (input_index & 0xFFFull);
 }
 
@@ -58,7 +61,7 @@ std::string describe(const std::exception_ptr& e) {
   }
 }
 
-void emit_reorder(int node, const StageDecision& d) {
+void emit_reorder(int node, const StageDecision& d, std::uint32_t job) {
   // A reorder decision: the data-aware policy jumped past the task static
   // order would have run. These instants are the Fig. 5(b) "back and
   // forth" moments, visible right on the node's timeline.
@@ -68,11 +71,13 @@ void emit_reorder(int node, const StageDecision& d) {
   ev.name = obs::intern("reorder");
   ev.pid = node;
   ev.ts_ns = obs::TraceClock::now_ns();
-  ev.nargs = 2;
+  ev.nargs = 3;
   ev.arg_name[0] = obs::intern("picked");
   ev.arg_val[0] = d.task;
   ev.arg_name[1] = obs::intern("over");
   ev.arg_val[1] = d.over;
+  ev.arg_name[2] = obs::intern("job");
+  ev.arg_val[2] = job;
   obs::TraceSession::instance().emit(ev);
 }
 
@@ -101,6 +106,29 @@ struct Engine::Staged {
   std::uint64_t stage_ts_ns = 0;        ///< InputsPending span start
 };
 
+/// One submitted job: its graph, assignment, ExecutorCore and accounting.
+/// Shared between the job table and the workers touching it; the comments
+/// name the lock guarding each field.
+struct Engine::JobRun {
+  std::uint32_t id = 0;
+  double weight = 1.0;
+  int priority = 0;
+  TaskGraph* graph = nullptr;
+  std::vector<int> assignment;
+  std::unique_ptr<ExecutorCore> core;
+  Stopwatch clock;                       ///< started at submit
+  storage::StorageStats stats_before;
+  std::uint64_t cross_before = 0;
+  FaultSummary faults;                   ///< fault_mutex_
+  std::vector<TraceEvent> trace;         ///< trace_mutex_
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;              ///< jobs_mutex_
+  bool retired = false;                  ///< jobs_mutex_
+  bool done = false;                     ///< jobs_mutex_
+  Report report;                         ///< jobs_mutex_ until done
+  obs::Counter* m_tasks_done = nullptr;  ///< jobs.tasks_done, keyed by job id
+};
+
 struct Engine::NodeState {
   int node = -1;
   std::mutex mutex;
@@ -108,7 +136,14 @@ struct Engine::NodeState {
   /// Bumped under `mutex` by every wake source (completion-queue notifier,
   /// complete(), wake_all()) so waits never miss an edge.
   std::uint64_t wake_seq = 0;
-  std::unordered_map<TaskId, Staged> staged;
+  /// Staged inputs, keyed by (job << 32 | task) — per-job task namespaces.
+  std::unordered_map<std::uint64_t, Staged> staged;
+  /// Round-robin cursor over equal-priority jobs (compute fairness).
+  std::uint64_t rr = 0;
+  /// Tag→job routing cache for drain_completions, refreshed from the job
+  /// table when jobs_version_ moves.
+  std::unordered_map<std::uint16_t, JobPtr> job_cache;
+  std::uint64_t job_cache_version = static_cast<std::uint64_t>(-1);
   obs::Histogram* m_wait = nullptr;     ///< sched.inputs_pending_us
   obs::Counter* m_parked = nullptr;     ///< sched.tasks_parked
   obs::Gauge* m_cq_depth = nullptr;     ///< sched.completion_queue_depth
@@ -153,13 +188,197 @@ Engine::Engine(storage::StorageCluster& cluster, EngineConfig config)
         std::make_unique<ThreadPool>(static_cast<std::size_t>(config_.split_threads_per_node)));
   }
   probe_ = std::make_unique<Probe>(cluster_);
+  // Blocking-io mode keeps the legacy abort-on-error path: its reads block
+  // on futures inside execute(), never reaching the completion-queue fault
+  // handling (the I/O filters still retry transient errors underneath).
+  fault_tolerant_ = cluster_.fault_plan() != nullptr && !config_.blocking_io;
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  shutdown_.store(true);
+  wake_all();
+  for (auto& w : workers_) w.join();
+  // Close the queues before tearing down per-job state: completions of
+  // still-in-flight reads (an abandoned job's stragglers) drop their
+  // payloads at the queue boundary instead of touching freed engine state.
+  if (started_ && !config_.blocking_io) {
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      cluster_.node(n).completions().close();
+    }
+  }
+  // Destroying NodeStates releases read pins a staged-but-never-run task
+  // still holds (abandoned jobs).
+  node_states_.clear();
+}
 
-void Engine::record_error(std::exception_ptr e) {
-  std::lock_guard lock(error_mutex_);
-  if (!first_error_) first_error_ = e;
+std::uint32_t Engine::reserve_job_id() { return next_job_id_.fetch_add(1); }
+
+void Engine::set_on_job_done(std::function<void(std::uint32_t)> cb) {
+  std::lock_guard lock(jobs_mutex_);
+  on_job_done_ = std::move(cb);
+}
+
+void Engine::ensure_started() {
+  std::lock_guard start(start_mutex_);
+  if (started_) return;
+  auto& metrics = obs::Metrics::instance();
+  node_states_.clear();
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    auto ns = std::make_unique<NodeState>();
+    ns->node = n;
+    ns->m_wait = &metrics.histogram("sched.inputs_pending_us", n);
+    ns->m_parked = &metrics.counter("sched.tasks_parked", n);
+    ns->m_cq_depth = &metrics.gauge("sched.completion_queue_depth", n);
+    ns->m_load_faults = &metrics.counter("sched.load_faults", n);
+    ns->m_task_retries = &metrics.counter("sched.task_retries", n);
+    ns->m_producer_reruns = &metrics.counter("sched.producer_reruns", n);
+    node_states_.push_back(std::move(ns));
+  }
+  if (!config_.blocking_io) {
+    for (auto& ns : node_states_) {
+      NodeState* state = ns.get();
+      cluster_.node(state->node).completions().open([state] {
+        {
+          std::lock_guard lock(state->mutex);
+          ++state->wake_seq;
+        }
+        state->cv.notify_all();
+      });
+    }
+  }
+  workers_.reserve(node_states_.size() * static_cast<std::size_t>(config_.compute_slots_per_node));
+  for (auto& ns : node_states_) {
+    NodeState* state = ns.get();
+    for (int slot = 0; slot < config_.compute_slots_per_node; ++slot) {
+      workers_.emplace_back([this, state, slot] {
+        if (config_.blocking_io) {
+          worker_loop_blocking(*state, slot);
+        } else {
+          worker_loop(*state, slot);
+        }
+      });
+    }
+  }
+  started_ = true;
+}
+
+std::uint32_t Engine::submit(TaskGraph& graph, SubmitOptions options) {
+  DOOC_REQUIRE(graph.built(), "submit() needs a built task graph");
+  DOOC_REQUIRE(options.weight > 0.0, "job weight must be positive");
+  const std::uint32_t id = options.job != 0 ? options.job : reserve_job_id();
+
+  auto jr = std::make_shared<JobRun>();
+  jr->id = id;
+  jr->weight = options.weight;
+  jr->priority = options.priority;
+  jr->graph = &graph;
+  jr->stats_before = cluster_.total_stats();
+  jr->cross_before =
+      cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0;
+
+  GlobalScheduler global(cluster_.num_nodes(), config_.global_policy);
+  CatalogLocator locator(&cluster_.catalog());
+  jr->assignment = global.assign(graph, locator);
+
+  CoreConfig core_config;
+  core_config.policy = config_.local_policy;
+  core_config.prefetch_window = config_.prefetch_window;
+  // Completion-driven mode: an idle compute slot may always demand-stage
+  // something even with the window exhausted, else the node deadlocks idle.
+  core_config.demand_slots = config_.blocking_io ? 0 : config_.compute_slots_per_node;
+  jr->core = std::make_unique<ExecutorCore>(graph, jr->assignment, cluster_.num_nodes(),
+                                            core_config, probe_.get());
+
+  auto& metrics = obs::Metrics::instance();
+  jr->m_tasks_done = &metrics.counter("jobs.tasks_done", static_cast<int>(id));
+
+  // The job id is the storage tenant: every read the job issues is
+  // arbitrated under this weight/priority.
+  cluster_.set_tenant(id, jr->weight, jr->priority);
+
+  ensure_started();
+
+  {
+    std::lock_guard lock(jobs_mutex_);
+    const auto tag16 = static_cast<std::uint16_t>(id & 0xFFFF);
+    DOOC_REQUIRE(jobs_.find(id) == jobs_.end(), "duplicate live job id");
+    DOOC_REQUIRE(jobs_by_tag_.find(tag16) == jobs_by_tag_.end(),
+                 "job id collides with a live job in the low 16 bits");
+    jobs_.emplace(id, jr);
+    jobs_by_tag_.emplace(tag16, jr);
+    ++jobs_version_;
+  }
+  metrics.counter("jobs.submitted", -1).add();
+
+  if (config_.blocking_io) {
+    // Initial prefetch pass over the seeded backlog, as the old engine did.
+    for (auto& ns : node_states_) {
+      std::lock_guard lock(ns->mutex);
+      prefetch_blocking_locked(*ns, *jr);
+    }
+  }
+
+  jr->clock.restart();
+  if (jr->core->all_settled()) {
+    // Empty graph: nothing will ever call complete() — settle it here.
+    retire_job(jr);
+  } else {
+    wake_all();
+  }
+  return id;
+}
+
+Report Engine::await(std::uint32_t job) {
+  JobPtr jr;
+  {
+    std::unique_lock lock(jobs_mutex_);
+    auto it = jobs_.find(job);
+    DOOC_REQUIRE(it != jobs_.end(), "await() of an unknown or already-awaited job");
+    jr = it->second;
+    jobs_cv_.wait(lock, [&] { return jr->done; });
+    jobs_.erase(job);
+    ++jobs_version_;
+  }
+  if (jr->error) std::rethrow_exception(jr->error);
+  return std::move(jr->report);
+}
+
+bool Engine::finished(std::uint32_t job) {
+  std::lock_guard lock(jobs_mutex_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return true;  // already reaped
+  return it->second->done;
+}
+
+Report Engine::run(TaskGraph& graph) {
+  const std::uint32_t id = submit(graph);
+  return await(id);
+}
+
+std::vector<Engine::JobPtr> Engine::job_snapshot(std::uint64_t rotate) {
+  std::vector<JobPtr> out;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    out.reserve(jobs_.size());
+    for (auto& [id, jr] : jobs_) {
+      if (!jr->done && !jr->retired && !jr->failed.load()) out.push_back(jr);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JobPtr& a, const JobPtr& b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->id < b->id;
+  });
+  // Rotate within the top priority tier only: strict priority between
+  // tiers, round-robin fairness inside one.
+  if (out.size() > 1) {
+    std::size_t tier = 1;
+    while (tier < out.size() && out[tier]->priority == out[0]->priority) ++tier;
+    if (tier > 1) {
+      std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(rotate % tier),
+                  out.begin() + static_cast<std::ptrdiff_t>(tier));
+    }
+  }
+  return out;
 }
 
 void Engine::wake_all() {
@@ -172,38 +391,67 @@ void Engine::wake_all() {
   }
 }
 
-bool Engine::drain_completions(NodeState& ns, std::vector<int>& wakes) {
+void Engine::notify_nodes(std::vector<int>& nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const int node : nodes) {
+    NodeState& other = *node_states_[static_cast<std::size_t>(node)];
+    {
+      std::lock_guard lock(other.mutex);
+      ++other.wake_seq;
+    }
+    other.cv.notify_all();
+  }
+  nodes.clear();
+}
+
+void Engine::drain_completions(NodeState& ns, std::vector<int>& wakes,
+                               std::vector<JobPtr>& failures, std::vector<JobPtr>& settled) {
   auto& queue = cluster_.node(ns.node).completions();
   if (ns.m_cq_depth != nullptr) ns.m_cq_depth->set(static_cast<double>(queue.depth()));
   const bool tracing = obs::trace_enabled();
+  if (ns.job_cache_version != jobs_version_.load()) {
+    std::lock_guard lock(jobs_mutex_);
+    ns.job_cache = jobs_by_tag_;
+    ns.job_cache_version = jobs_version_.load();
+  }
   storage::Completion c;
-  bool ok = true;
   while (queue.pop(c)) {
-    if ((c.tag >> 48) != (run_epoch_ & 0xFFFFull)) continue;  // stale run's read
+    const auto tag16 = static_cast<std::uint16_t>(c.tag >> 48);
+    auto jit = ns.job_cache.find(tag16);
+    if (jit == ns.job_cache.end()) continue;  // finished job's straggler; pin drops here
+    const JobPtr& jr = jit->second;
     const auto t = static_cast<TaskId>((c.tag >> 16) & 0xFFFFFFFFull);
+    if (jr->failed.load()) {
+      // The job died between issue and completion: drop the payload and
+      // any staged shell the failure sweep may have missed.
+      ns.staged.erase(staged_key(jr->id, t));
+      continue;
+    }
     // Straggler from a staging the fault path already tore down: dropping
     // it releases its pin at the queue boundary; counting it would corrupt
     // the current attempt's input accounting.
     if (fault_tolerant_ &&
-        static_cast<int>((c.tag >> 12) & 0xFull) != (core_->retries(t) & 0xF)) {
+        static_cast<int>((c.tag >> 12) & 0xFull) != (jr->core->retries(t) & 0xF)) {
       continue;
     }
     if (c.error) {
       if (!fault_tolerant_) {
-        record_error(c.error);
-        abort_.store(true);
-        ok = false;
+        // Legacy plan-less behaviour, scoped to the owning job: the first
+        // storage error fails that job (and only that job).
+        jr->error = jr->error ? jr->error : c.error;  // jobs_mutex_-free: fail_job re-records
+        failures.push_back(jr);
         continue;
       }
-      handle_load_fault(ns, t, c.error, wakes);
+      handle_load_fault(ns, jr, t, c.error, wakes, settled);
       continue;
     }
-    auto it = ns.staged.find(t);
+    auto it = ns.staged.find(staged_key(jr->id, t));
     if (it == ns.staged.end()) continue;
     Staged& st = it->second;
     const auto idx = static_cast<std::size_t>(c.tag & 0xFFFull);
     if (idx < st.inputs.size()) st.inputs[idx] = std::move(c.read);
-    if (core_->note_input(t) && !st.resident_at_stage) {
+    if (jr->core->note_input(t) && !st.resident_at_stage) {
       // The InputsPending wait is over: the span from stage to last input.
       const std::uint64_t now = obs::TraceClock::now_ns();
       const std::uint64_t dur = now - st.stage_ts_ns;
@@ -219,35 +467,37 @@ bool Engine::drain_completions(NodeState& ns, std::vector<int>& wakes) {
         ev.tid = 200 + static_cast<std::int32_t>(t % 16);
         ev.ts_ns = st.stage_ts_ns;
         ev.dur_ns = dur;
-        ev.nargs = 2;
+        ev.nargs = 3;
         ev.arg_name[0] = obs::intern("group");
-        ev.arg_val[0] = static_cast<std::uint64_t>(graph_->task(t).group);
+        ev.arg_val[0] = static_cast<std::uint64_t>(jr->graph->task(t).group);
         ev.arg_name[1] = obs::intern("missing_bytes");
         ev.arg_val[1] = st.missing_bytes;
+        ev.arg_name[2] = obs::intern("job");
+        ev.arg_val[2] = jr->id;
         obs::TraceSession::instance().emit(ev);
         // Close each missing input's load flow on the waiting task: the
         // 'f' point carries the consumer task id, which is how the causal
         // graph knows which load gated which task.
-        const Task& task = graph_->task(t);
+        const Task& task = jr->graph->task(t);
         for (std::size_t i = 0; i < task.inputs.size() && i < st.missing.size(); ++i) {
           if (st.missing[i] == 0) continue;
           obs::emit_flow(obs::Phase::FlowEnd, obs::intern("load"), obs::intern("load-ready"),
                          ns.node, ev.tid, now,
                          obs::causal::flow_id_load(task.inputs[i].array, task.inputs[i].offset),
-                         obs::intern("task"), t);
+                         obs::intern("task"), t, obs::intern("job"), jr->id);
         }
       }
     }
   }
-  return ok;
 }
 
-void Engine::handle_load_fault(NodeState& ns, TaskId t, const std::exception_ptr& err,
-                               std::vector<int>& wakes) {
+void Engine::handle_load_fault(NodeState& ns, const JobPtr& jr, TaskId t,
+                               const std::exception_ptr& err, std::vector<int>& wakes,
+                               std::vector<JobPtr>& settled) {
   if (ns.m_load_faults != nullptr) ns.m_load_faults->add();
   {
     std::lock_guard flock(fault_mutex_);
-    ++faults_.load_faults;
+    ++jr->faults.load_faults;
   }
   if (obs::trace_enabled()) {
     obs::emit_instant(obs::intern("fault"), obs::intern("load-failed"), ns.node, 0);
@@ -256,67 +506,71 @@ void Engine::handle_load_fault(NodeState& ns, TaskId t, const std::exception_ptr
   // retry/backoff policy, so first check whether an input is genuinely
   // *lost* (its only copies on downed nodes, nothing durable) and re-derive
   // it by re-running the Done producer before this task retries.
-  maybe_resurrect_producers(ns, t, wakes);
+  maybe_resurrect_producers(ns, jr, t, wakes);
   std::vector<TaskId> poisoned;
-  const ExecutorCore::FaultAction action = core_->fault(t, &poisoned);
+  const ExecutorCore::FaultAction action = jr->core->fault(t, &poisoned);
   if (action == ExecutorCore::FaultAction::Ignored) return;
   // Drop the partial staging: surviving read handles release their pins.
-  ns.staged.erase(t);
+  ns.staged.erase(staged_key(jr->id, t));
   if (action == ExecutorCore::FaultAction::Retry) {
     if (ns.m_task_retries != nullptr) ns.m_task_retries->add();
     std::lock_guard flock(fault_mutex_);
-    ++faults_.task_retries;
+    ++jr->faults.task_retries;
     return;
   }
   // Poisoned: this task and its transitive successors will never run. The
-  // run keeps draining everything else — graceful degradation, not abort.
+  // job keeps draining everything else — graceful degradation, not abort.
   FaultRecord rec;
   rec.task = t;
-  rec.name = graph_->task(t).name;
+  rec.name = jr->graph->task(t).name;
   rec.node = ns.node;
-  rec.retries = core_->retries(t) - 1;
+  rec.retries = jr->core->retries(t) - 1;
   rec.error = describe(err);
-  DOOC_LOG(Warn, "engine") << "task " << t << " '" << rec.name << "' poisoned after "
-                           << rec.retries << " retries: " << rec.error;
+  DOOC_LOG(Warn, "engine") << "job " << jr->id << " task " << t << " '" << rec.name
+                           << "' poisoned after " << rec.retries << " retries: " << rec.error;
   {
     std::lock_guard flock(fault_mutex_);
-    faults_.failed.push_back(std::move(rec));
-    faults_.poisoned += poisoned.empty() ? 0 : poisoned.size() - 1;
+    jr->faults.failed.push_back(std::move(rec));
+    jr->faults.poisoned += poisoned.empty() ? 0 : poisoned.size() - 1;
   }
   if (obs::trace_enabled()) {
     obs::emit_instant(obs::intern("fault"), obs::intern("task-poisoned"), ns.node, 0);
   }
-  if (core_->all_settled()) {
-    // Poisoning settled the run: fan the wake out to every node so parked
-    // workers notice (the usual fan-out lives in complete(), which a
-    // poisoned task never reaches).
+  if (jr->core->all_settled()) {
+    // Poisoning settled the job: the usual settle point lives in
+    // complete(), which a poisoned task never reaches, so queue the
+    // retirement here (the caller runs it once ns.mutex is released) and
+    // fan the wake out so parked workers drop the job from their
+    // snapshots.
+    settled.push_back(jr);
     for (int n = 0; n < cluster_.num_nodes(); ++n) wakes.push_back(n);
   }
 }
 
-void Engine::maybe_resurrect_producers(NodeState& ns, TaskId t, std::vector<int>& wakes) {
-  const Task& task = graph_->task(t);
+void Engine::maybe_resurrect_producers(NodeState& ns, const JobPtr& jr, TaskId t,
+                                       std::vector<int>& wakes) {
+  const Task& task = jr->graph->task(t);
   for (const auto& in : task.inputs) {
-    const TaskId p = graph_->writer_of(in);
-    if (p == kInvalidTask) continue;                   // pre-existing input
-    if (core_->state(p) != TaskState::Done) continue;  // queued / rerunning / poisoned
-    if (!block_lost(in)) continue;                     // still reachable: plain retry suffices
+    const TaskId p = jr->graph->writer_of(in);
+    if (p == kInvalidTask) continue;                       // pre-existing input
+    if (jr->core->state(p) != TaskState::Done) continue;   // queued / rerunning / poisoned
+    if (!block_lost(in)) continue;                         // still reachable: plain retry suffices
     // Forget *every* output block of the producer, not just the lost one —
     // the arrays are write-once, so a partial rewrite would trip
     // immutability on the surviving blocks.
-    if (!forget_outputs(p)) continue;  // some block still live → not actually lost
-    if (!core_->resurrect(p)) continue;
+    if (!forget_outputs(jr, p)) continue;  // some block still live → not actually lost
+    if (!jr->core->resurrect(p)) continue;
     if (ns.m_producer_reruns != nullptr) ns.m_producer_reruns->add();
     {
       std::lock_guard flock(fault_mutex_);
-      ++faults_.producer_reruns;
+      ++jr->faults.producer_reruns;
     }
     DOOC_LOG(Warn, "engine") << "re-running task " << p << " to re-derive lost block(s) of '"
                              << in.array << "'";
     if (obs::trace_enabled()) {
-      obs::emit_instant(obs::intern("fault"), obs::intern("producer-rerun"), assignment_[p], 0);
+      obs::emit_instant(obs::intern("fault"), obs::intern("producer-rerun"), jr->assignment[p], 0);
     }
-    wakes.push_back(assignment_[p]);
+    wakes.push_back(jr->assignment[p]);
   }
 }
 
@@ -338,8 +592,8 @@ bool Engine::block_lost(const storage::Interval& in) const {
   return true;
 }
 
-bool Engine::forget_outputs(TaskId p) {
-  const Task& task = graph_->task(p);
+bool Engine::forget_outputs(const JobPtr& jr, TaskId p) {
+  const Task& task = jr->graph->task(p);
   for (const auto& out : task.outputs) {
     auto& shard = cluster_.catalog().shard_for(out.array);
     const std::optional<storage::ArrayMeta> meta = shard.find(out.array);
@@ -353,71 +607,66 @@ bool Engine::forget_outputs(TaskId p) {
   return true;
 }
 
-void Engine::notify_nodes(std::vector<int>& nodes) {
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
-  for (const int node : nodes) {
-    NodeState& other = *node_states_[static_cast<std::size_t>(node)];
-    {
-      std::lock_guard lock(other.mutex);
-      ++other.wake_seq;
-    }
-    other.cv.notify_all();
-  }
-  nodes.clear();
-}
-
-void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
+void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock,
+                         const std::vector<JobPtr>& jobs) {
   auto& storage_node = cluster_.node(ns.node);
   const bool tracing = obs::trace_enabled();
   struct Plan {
+    JobPtr job;
     TaskId task;
     const Task* def;
     std::vector<std::uint8_t> missing;  ///< per-input, as staged
   };
   std::vector<Plan> plans;
-  // Resident candidates stage freely (they never consume the window), then
-  // missing candidates up to window + idle demand slots.
-  for (const StageSelect select : {StageSelect::Resident, StageSelect::Missing}) {
-    while (true) {
-      const StageDecision d = core_->next_to_stage(ns.node, select);
-      if (d.task == kInvalidTask) break;
-      const Task& task = graph_->task(d.task);
-      if (tracing && d.reordered) emit_reorder(ns.node, d);
-      if (task.kind == "sync" || task.inputs.empty()) {
-        // Barriers move no data: straight to Runnable.
-        ns.staged.emplace(d.task, Staged{});
-        core_->stage(d.task, 0);
-        continue;
-      }
-      Staged st;
-      st.inputs.resize(task.inputs.size());
-      st.missing.resize(task.inputs.size(), 0);
-      for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-        if (!storage_node.is_resident(task.inputs[i])) {
-          st.missing[i] = 1;
-          st.missing_bytes += task.inputs[i].length;
+  for (const JobPtr& jr : jobs) {
+    // Resident candidates stage freely (they never consume the window),
+    // then missing candidates up to window + idle demand slots — per job:
+    // every job owns a full window, so a small job's staging is never
+    // crowded out by a large one's backlog.
+    for (const StageSelect select : {StageSelect::Resident, StageSelect::Missing}) {
+      while (true) {
+        const StageDecision d = jr->core->next_to_stage(ns.node, select);
+        if (d.task == kInvalidTask) break;
+        const Task& task = jr->graph->task(d.task);
+        if (tracing && d.reordered) emit_reorder(ns.node, d, jr->id);
+        if (task.kind == "sync" || task.inputs.empty()) {
+          // Barriers move no data: straight to Runnable.
+          ns.staged.emplace(staged_key(jr->id, d.task), Staged{});
+          jr->core->stage(d.task, 0);
+          continue;
         }
+        Staged st;
+        st.inputs.resize(task.inputs.size());
+        st.missing.resize(task.inputs.size(), 0);
+        for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+          if (!storage_node.is_resident(task.inputs[i])) {
+            st.missing[i] = 1;
+            st.missing_bytes += task.inputs[i].length;
+          }
+        }
+        st.resident_at_stage = st.missing_bytes == 0;
+        st.stage_ts_ns = obs::TraceClock::now_ns();
+        if (!st.resident_at_stage && ns.m_parked != nullptr) ns.m_parked->add();
+        std::vector<std::uint8_t> missing = st.missing;
+        ns.staged.emplace(staged_key(jr->id, d.task), std::move(st));
+        // Every input read reports through the completion queue, so the
+        // task waits for one event per input (resident ones land
+        // immediately).
+        jr->core->stage(d.task, static_cast<int>(task.inputs.size()));
+        plans.push_back({jr, d.task, &task, std::move(missing)});
       }
-      st.resident_at_stage = st.missing_bytes == 0;
-      st.stage_ts_ns = obs::TraceClock::now_ns();
-      if (!st.resident_at_stage && ns.m_parked != nullptr) ns.m_parked->add();
-      std::vector<std::uint8_t> missing = st.missing;
-      ns.staged.emplace(d.task, std::move(st));
-      // Every input read reports through the completion queue, so the task
-      // waits for one event per input (resident ones land immediately).
-      core_->stage(d.task, static_cast<int>(task.inputs.size()));
-      plans.push_back({d.task, &task, std::move(missing)});
     }
   }
   if (plans.empty()) return;
   // Already-resident inputs complete inline and the queue notifier re-takes
   // ns.mutex, so the reads must be issued with it released.
   lock.unlock();
+  std::set<std::uint32_t> dead;  ///< jobs whose read issue threw in this pass
   for (const Plan& p : plans) {
+    if (dead.count(p.job->id) != 0) continue;
     // The staging attempt tags the reads so a retry can tell this
     // staging's completions from a torn-down predecessor's stragglers.
-    const int attempt = fault_tolerant_ ? (core_->retries(p.task) & 0xF) : 0;
+    const int attempt = fault_tolerant_ ? (p.job->core->retries(p.task) & 0xF) : 0;
     for (std::size_t i = 0; i < p.def->inputs.size(); ++i) {
       const auto& in = p.def->inputs[i];
       if (tracing && i < p.missing.size() && p.missing[i] != 0) {
@@ -425,38 +674,40 @@ void Engine::stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock) {
         // ('t') and drain_completions closes it ('f') at the consumer.
         obs::emit_flow(obs::Phase::FlowStart, obs::intern("load"), obs::intern("read-issue"),
                        ns.node, obs::current_thread_lane(), obs::TraceClock::now_ns(),
-                       obs::causal::flow_id_load(in.array, in.offset));
+                       obs::causal::flow_id_load(in.array, in.offset), obs::intern("job"),
+                       p.job->id);
       }
       try {
-        storage_node.read_async(in, make_tag(run_epoch_, p.task, attempt, i));
+        storage_node.read_async(in, make_tag(p.job->id, p.task, attempt, i), p.job->id);
       } catch (...) {
-        record_error(std::current_exception());
-        abort_.store(true);
-        lock.lock();
-        return;
+        // A synchronous storage rejection (bad interval, unknown array)
+        // fails this job; other jobs' plans proceed.
+        dead.insert(p.job->id);
+        fail_job(p.job, std::current_exception());
+        break;
       }
     }
   }
   lock.lock();
 }
 
-void Engine::prefetch_blocking_locked(NodeState& ns) {
+void Engine::prefetch_blocking_locked(NodeState& ns, JobRun& jr) {
   if (config_.prefetch_window <= 0) return;
   // Blocking-io ablation: prefetch inputs of the first `prefetch_window`
   // backlog tasks in policy order, as a bolt-on pass next to the blocking
   // picks.
   std::vector<TaskId> order;
-  core_->policy_order(ns.node, order);
+  jr.core->policy_order(ns.node, order);
   auto& storage_node = cluster_.node(ns.node);
   int window = config_.prefetch_window;
   for (const TaskId t : order) {
     if (window <= 0) break;
-    const Task& task = graph_->task(t);
+    const Task& task = jr.graph->task(t);
     if (task.kind == "sync") continue;  // barriers move no data
     bool missing = false;
     for (const auto& in : task.inputs) {
       if (!storage_node.is_resident(in)) {
-        storage_node.prefetch(in);
+        storage_node.prefetch(in, jr.id);
         missing = true;
       }
     }
@@ -464,8 +715,8 @@ void Engine::prefetch_blocking_locked(NodeState& ns) {
   }
 }
 
-void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
-  const Task& task = graph_->task(t);
+void Engine::execute(NodeState& ns, int slot, JobRun& jr, TaskId t, Staged* staged) {
+  const Task& task = jr.graph->task(t);
   auto& storage_node = cluster_.node(ns.node);
 
   // Sync tasks are barriers: their dependencies are enforced by the DAG
@@ -499,7 +750,7 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
     ev.slot = slot;
     ev.inputs_resident = inputs_resident;
     ev.missing_bytes = missing_bytes;
-    ev.start = clock_.seconds();
+    ev.start = jr.clock.seconds();
   }
   // Acquire output handles (immediate) then input handles. On the
   // completion-driven path the inputs arrived with the storage completions
@@ -525,7 +776,7 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
       std::optional<obs::Span> wait_span;
       if (tracing && !inputs_resident) {
         wait_span.emplace("sched", "wait-inputs", ns.node);
-        wait_span->arg("missing_bytes", missing_bytes);
+        wait_span->arg("missing_bytes", missing_bytes).arg("job", jr.id);
       }
       for (auto& f : input_futures) inputs.push_back(f.get());
     }
@@ -541,14 +792,15 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
   std::optional<obs::Span> task_span;
   if (tracing) {
     task_span.emplace("task", task.name, ns.node, lane);
-    task_span->arg("task", t).arg("missing_bytes", missing_bytes);
+    task_span->arg("task", t).arg("job", jr.id).arg("missing_bytes", missing_bytes);
     // Close the producer→consumer flow of every input array here, inside
     // the just-opened task span: the array name is write-once (storage
     // immutability), so its dep flow id uniquely names the producer.
     const std::uint64_t now = obs::TraceClock::now_ns();
     for (const auto& in : task.inputs) {
       obs::emit_flow(obs::Phase::FlowEnd, obs::intern("dep"), obs::intern("consume"), ns.node,
-                     lane, now, obs::causal::flow_id_dep(in.array), obs::intern("task"), t);
+                     lane, now, obs::causal::flow_id_dep(in.array), obs::intern("task"), t,
+                     obs::intern("job"), jr.id);
     }
   }
 
@@ -571,258 +823,225 @@ void Engine::execute(NodeState& ns, int slot, TaskId t, Staged* staged) {
     const std::uint64_t now = obs::TraceClock::now_ns();
     for (const auto& out : task.outputs) {
       obs::emit_flow(obs::Phase::FlowStart, obs::intern("dep"), obs::intern("produce"), ns.node,
-                     lane, now, obs::causal::flow_id_dep(out.array), obs::intern("task"), t);
+                     lane, now, obs::causal::flow_id_dep(out.array), obs::intern("task"), t,
+                     obs::intern("job"), jr.id);
     }
   }
 
   if (config_.record_trace) {
-    ev.end = clock_.seconds();
+    ev.end = jr.clock.seconds();
     std::lock_guard lock(trace_mutex_);
-    trace_.push_back(std::move(ev));
+    jr.trace.push_back(std::move(ev));
   }
 }
 
-void Engine::complete(TaskId t) {
+void Engine::complete(const JobPtr& jr, TaskId t) {
+  if (jr->failed.load()) return;  // the job died while this task was running
+  if (jr->m_tasks_done != nullptr) jr->m_tasks_done->add();
   std::vector<std::pair<int, TaskId>> newly_assigned;
-  core_->finish(t, newly_assigned);
-  if (core_->all_settled()) {
+  jr->core->finish(t, newly_assigned);
+  if (jr->core->all_settled()) {
+    retire_job(jr);
     wake_all();
     return;
   }
   // Wake every node that gained work, plus the finished task's own node
   // (a compute slot just freed up there).
   std::set<int> to_wake;
-  to_wake.insert(assignment_[t]);
+  to_wake.insert(jr->assignment[t]);
   for (const auto& [node, task] : newly_assigned) to_wake.insert(node);
   for (const int node : to_wake) {
     NodeState& ns = *node_states_[static_cast<std::size_t>(node)];
     {
       std::lock_guard lock(ns.mutex);
       ++ns.wake_seq;
-      if (config_.blocking_io) prefetch_blocking_locked(ns);
+      if (config_.blocking_io) prefetch_blocking_locked(ns, *jr);
     }
     ns.cv.notify_all();
   }
 }
 
+void Engine::fail_job(const JobPtr& jr, std::exception_ptr e) {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (!jr->error) jr->error = e;
+    if (jr->failed.exchange(true)) return;  // someone else is tearing it down
+    ++jobs_version_;
+  }
+  // Drop the job's staged inputs on every node: surviving read handles
+  // release their pins; the wake lets parked workers refresh snapshots.
+  for (auto& ns : node_states_) {
+    {
+      std::lock_guard lock(ns->mutex);
+      for (auto it = ns->staged.begin(); it != ns->staged.end();) {
+        if (static_cast<std::uint32_t>(it->first >> 32) == jr->id) {
+          it = ns->staged.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      ++ns->wake_seq;
+    }
+    ns->cv.notify_all();
+  }
+  retire_job(jr);
+}
+
+void Engine::retire_job(const JobPtr& jr) {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (jr->retired) return;
+    jr->retired = true;
+  }
+  Report report;
+  report.makespan = jr->clock.seconds();
+  const bool settled = jr->core->all_settled();
+  report.tasks_executed = jr->core->completed();
+  const std::vector<TaskId> faulted = jr->core->faulted_tasks();
+  if (!jr->error) {
+    DOOC_CHECK(settled, "job finished without settling all tasks");
+  }
+  std::vector<std::uint8_t> is_faulted(jr->graph->size(), 0);
+  for (const TaskId t : faulted) is_faulted[t] = 1;
+  for (TaskId t = 0; t < jr->graph->size(); ++t) {
+    if (is_faulted[t] == 0) report.total_flops += jr->graph->task(t).est_flops;
+  }
+  report.assignment = jr->assignment;
+  {
+    std::lock_guard tlock(trace_mutex_);
+    report.trace = std::move(jr->trace);
+  }
+  report.storage = delta(cluster_.total_stats(), jr->stats_before);
+  report.cross_node_bytes =
+      (cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0) -
+      jr->cross_before;
+  {
+    std::lock_guard flock(fault_mutex_);
+    report.faults = jr->faults;
+  }
+  if (!report.faults.ok()) {
+    DOOC_LOG(Warn, "engine") << "job " << jr->id << ": " << report.faults.to_text();
+  }
+  cluster_.retire_tenant(jr->id);
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter("jobs.completed", -1).add();
+  metrics.histogram("jobs.makespan_us", -1).add(report.makespan * 1e6);
+
+  std::function<void(std::uint32_t)> cb;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    jr->report = std::move(report);
+    jr->done = true;
+    const auto tag16 = static_cast<std::uint16_t>(jr->id & 0xFFFF);
+    auto it = jobs_by_tag_.find(tag16);
+    if (it != jobs_by_tag_.end() && it->second == jr) jobs_by_tag_.erase(it);
+    ++jobs_version_;
+    cb = on_job_done_;
+  }
+  jobs_cv_.notify_all();
+  if (cb) cb(jr->id);
+}
+
 void Engine::worker_loop(NodeState& ns, int slot) {
   std::vector<int> wakes;
+  std::vector<JobPtr> failures;
+  std::vector<JobPtr> settled;
+  // Fail/retire jobs and notify nodes only with ns.mutex released
+  // (fail_job takes every node's mutex; notify takes other nodes').
+  const auto service = [&](std::unique_lock<std::mutex>& lock) {
+    if (wakes.empty() && failures.empty() && settled.empty()) return false;
+    lock.unlock();
+    notify_nodes(wakes);
+    for (const JobPtr& jr : failures) fail_job(jr, jr->error);
+    failures.clear();
+    for (const JobPtr& jr : settled) retire_job(jr);
+    settled.clear();
+    lock.lock();
+    return true;
+  };
   while (true) {
+    JobPtr jr;
     TaskId t = kInvalidTask;
     Staged staged;
     {
       std::unique_lock lock(ns.mutex);
       while (true) {
-        if (abort_.load()) return;
-        if (!drain_completions(ns, wakes)) {
-          lock.unlock();
-          wake_all();
-          return;
+        if (shutdown_.load()) return;
+        drain_completions(ns, wakes, failures, settled);
+        if (service(lock)) continue;
+        const std::vector<JobPtr> jobs = job_snapshot(ns.rr);
+        if (!jobs.empty()) {
+          stage_tasks(ns, lock, jobs);
+          if (shutdown_.load()) return;
+          // Reads issued while unlocked may have completed inline already.
+          drain_completions(ns, wakes, failures, settled);
+          if (service(lock)) continue;
+          for (const JobPtr& j : jobs) {
+            if (j->failed.load()) continue;
+            t = j->core->take_runnable(ns.node);
+            if (t != kInvalidTask) {
+              jr = j;
+              break;
+            }
+          }
+          if (t != kInvalidTask) {
+            ++ns.rr;  // round-robin: next wake starts at the next job
+            break;
+          }
         }
-        if (!wakes.empty()) {
-          // Fault handling resurrected producers on other nodes or settled
-          // the run: notify them with no lock held, then re-drain.
-          lock.unlock();
-          notify_nodes(wakes);
-          lock.lock();
-          continue;
-        }
-        if (core_->all_settled()) return;
-        stage_tasks(ns, lock);
-        if (abort_.load()) {
-          lock.unlock();
-          wake_all();
-          return;
-        }
-        // Reads issued while unlocked may have completed inline already.
-        if (!drain_completions(ns, wakes)) {
-          lock.unlock();
-          wake_all();
-          return;
-        }
-        if (!wakes.empty()) {
-          lock.unlock();
-          notify_nodes(wakes);
-          lock.lock();
-          continue;
-        }
-        t = core_->take_runnable(ns.node);
-        if (t != kInvalidTask) break;
         const std::uint64_t seen = ns.wake_seq;
-        ns.cv.wait(lock, [&] {
-          return ns.wake_seq != seen || abort_.load() || core_->all_settled();
-        });
+        ns.cv.wait(lock, [&] { return ns.wake_seq != seen || shutdown_.load(); });
       }
-      auto it = ns.staged.find(t);
+      auto it = ns.staged.find(staged_key(jr->id, t));
       DOOC_CHECK(it != ns.staged.end(), "runnable task lost its staged inputs");
       staged = std::move(it->second);
       ns.staged.erase(it);
     }
     try {
-      execute(ns, slot, t, &staged);
+      execute(ns, slot, *jr, t, &staged);
     } catch (...) {
-      record_error(std::current_exception());
-      abort_.store(true);
-      wake_all();
-      return;
+      fail_job(jr, std::current_exception());
+      continue;
     }
-    complete(t);
+    complete(jr, t);
   }
 }
 
 void Engine::worker_loop_blocking(NodeState& ns, int slot) {
   while (true) {
+    JobPtr jr;
     TaskId t = kInvalidTask;
     {
       std::unique_lock lock(ns.mutex);
-      ns.cv.wait(lock, [&] {
-        return abort_.load() || core_->all_settled() || core_->backlog(ns.node) > 0;
-      });
-      if (abort_.load() || core_->all_settled()) return;
-      const StageDecision d = core_->take_direct(ns.node);
-      if (d.task == kInvalidTask) continue;
-      if (obs::trace_enabled() && d.reordered) emit_reorder(ns.node, d);
-      prefetch_blocking_locked(ns);
-      t = d.task;
+      while (true) {
+        if (shutdown_.load()) return;
+        const std::vector<JobPtr> jobs = job_snapshot(ns.rr);
+        for (const JobPtr& j : jobs) {
+          if (j->core->backlog(ns.node) == 0) continue;
+          const StageDecision d = j->core->take_direct(ns.node);
+          if (d.task == kInvalidTask) continue;
+          if (obs::trace_enabled() && d.reordered) emit_reorder(ns.node, d, j->id);
+          prefetch_blocking_locked(ns, *j);
+          jr = j;
+          t = d.task;
+          break;
+        }
+        if (t != kInvalidTask) {
+          ++ns.rr;
+          break;
+        }
+        const std::uint64_t seen = ns.wake_seq;
+        ns.cv.wait(lock, [&] { return ns.wake_seq != seen || shutdown_.load(); });
+      }
     }
     try {
-      execute(ns, slot, t, nullptr);
+      execute(ns, slot, *jr, t, nullptr);
     } catch (...) {
-      record_error(std::current_exception());
-      abort_.store(true);
-      wake_all();
-      return;
+      fail_job(jr, std::current_exception());
+      continue;
     }
-    complete(t);
+    complete(jr, t);
   }
-}
-
-Report Engine::run(TaskGraph& graph) {
-  DOOC_REQUIRE(graph.built(), "run() needs a built task graph");
-  graph_ = &graph;
-  abort_.store(false);
-  first_error_ = nullptr;
-  trace_.clear();
-  ++run_epoch_;
-  // Blocking-io mode keeps the legacy abort-on-error path: its reads block
-  // on futures inside execute(), never reaching the completion-queue fault
-  // handling (the I/O filters still retry transient errors underneath).
-  fault_tolerant_ = cluster_.fault_plan() != nullptr && !config_.blocking_io;
-  {
-    std::lock_guard flock(fault_mutex_);
-    faults_ = {};
-  }
-
-  const storage::StorageStats stats_before = cluster_.total_stats();
-  const std::uint64_t cross_before =
-      cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0;
-
-  GlobalScheduler global(cluster_.num_nodes(), config_.global_policy);
-  CatalogLocator locator(&cluster_.catalog());
-  assignment_ = global.assign(graph, locator);
-
-  CoreConfig core_config;
-  core_config.policy = config_.local_policy;
-  core_config.prefetch_window = config_.prefetch_window;
-  // Completion-driven mode: an idle compute slot may always demand-stage
-  // something even with the window exhausted, else the node deadlocks idle.
-  core_config.demand_slots = config_.blocking_io ? 0 : config_.compute_slots_per_node;
-  core_ = std::make_unique<ExecutorCore>(graph, assignment_, cluster_.num_nodes(), core_config,
-                                         probe_.get());
-
-  auto& metrics = obs::Metrics::instance();
-  node_states_.clear();
-  for (int n = 0; n < cluster_.num_nodes(); ++n) {
-    auto ns = std::make_unique<NodeState>();
-    ns->node = n;
-    ns->m_wait = &metrics.histogram("sched.inputs_pending_us", n);
-    ns->m_parked = &metrics.counter("sched.tasks_parked", n);
-    ns->m_cq_depth = &metrics.gauge("sched.completion_queue_depth", n);
-    ns->m_load_faults = &metrics.counter("sched.load_faults", n);
-    ns->m_task_retries = &metrics.counter("sched.task_retries", n);
-    ns->m_producer_reruns = &metrics.counter("sched.producer_reruns", n);
-    node_states_.push_back(std::move(ns));
-  }
-
-  if (config_.blocking_io) {
-    // Initial prefetch pass over the seeded backlog, as the old engine did.
-    for (auto& ns : node_states_) {
-      std::lock_guard lock(ns->mutex);
-      prefetch_blocking_locked(*ns);
-    }
-  } else {
-    for (auto& ns : node_states_) {
-      NodeState* state = ns.get();
-      cluster_.node(state->node).completions().open([state] {
-        {
-          std::lock_guard lock(state->mutex);
-          ++state->wake_seq;
-        }
-        state->cv.notify_all();
-      });
-    }
-  }
-
-  clock_.restart();
-  std::vector<std::thread> workers;
-  workers.reserve(node_states_.size() * static_cast<std::size_t>(config_.compute_slots_per_node));
-  for (auto& ns : node_states_) {
-    NodeState* state = ns.get();
-    for (int slot = 0; slot < config_.compute_slots_per_node; ++slot) {
-      workers.emplace_back([this, state, slot] {
-        if (config_.blocking_io) {
-          worker_loop_blocking(*state, slot);
-        } else {
-          worker_loop(*state, slot);
-        }
-      });
-    }
-  }
-  for (auto& w : workers) w.join();
-
-  // Close the queues before tearing down per-run state: completions of
-  // still-in-flight reads (an aborted run's stragglers) drop their payloads
-  // at the queue boundary instead of touching freed engine state.
-  if (!config_.blocking_io) {
-    for (int n = 0; n < cluster_.num_nodes(); ++n) {
-      cluster_.node(n).completions().close();
-    }
-  }
-
-  Report report;
-  report.makespan = clock_.seconds();
-  graph_ = nullptr;
-  const bool settled = core_->all_settled();
-  const std::size_t done = core_->completed();
-  const std::vector<TaskId> faulted = core_->faulted_tasks();
-  // Destroying NodeStates releases read pins a staged-but-never-run task
-  // still holds (abort path).
-  node_states_.clear();
-  core_.reset();
-
-  if (first_error_) std::rethrow_exception(first_error_);
-  DOOC_CHECK(settled, "engine finished without settling all tasks");
-
-  report.tasks_executed = done;
-  std::vector<std::uint8_t> is_faulted(graph.size(), 0);
-  for (const TaskId t : faulted) is_faulted[t] = 1;
-  for (TaskId t = 0; t < graph.size(); ++t) {
-    if (is_faulted[t] == 0) report.total_flops += graph.task(t).est_flops;
-  }
-  report.assignment = assignment_;
-  report.trace = std::move(trace_);
-  report.storage = delta(cluster_.total_stats(), stats_before);
-  report.cross_node_bytes =
-      (cluster_.transport() != nullptr ? cluster_.transport()->cross_node_bytes() : 0) -
-      cross_before;
-  {
-    std::lock_guard flock(fault_mutex_);
-    report.faults = faults_;
-  }
-  if (!report.faults.ok()) {
-    DOOC_LOG(Warn, "engine") << report.faults.to_text();
-  }
-  return report;
 }
 
 }  // namespace dooc::sched

@@ -1,6 +1,17 @@
 // The real execution backend: global assignment + per-node local
 // schedulers + compute workers, over the distributed storage layer.
 //
+// The engine is multi-tenant: it hosts N concurrent jobs (one built
+// TaskGraph each), every job with its own ExecutorCore state machine,
+// multiplexed onto one shared set of persistent compute workers. submit()
+// registers a job and returns immediately; await() blocks for its Report.
+// Workers iterate the live jobs in priority order (round-robin within a
+// priority tier) so every job makes progress; storage admission is
+// arbitrated per job by the fair-share layer (the job id travels as the
+// storage tenant on every read). run() is the single-job wrapper —
+// submit + await — and with one job the schedule is exactly the
+// pre-multi-tenant engine's.
+//
 // Each virtual node runs `compute_slots_per_node` compute filters (worker
 // threads) around the shared ExecutorCore state machine. Workers never
 // block on storage reads: a picked task's inputs are requested with
@@ -19,9 +30,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stopwatch.hpp"
@@ -83,7 +97,7 @@ struct TraceEvent {
   std::string kind;
   int node = -1;
   int slot = -1;
-  double start = 0.0;  ///< seconds since run() start
+  double start = 0.0;  ///< seconds since the job's submit
   double end = 0.0;
   bool inputs_resident = false;  ///< all inputs resident when the task was picked
   std::uint64_t missing_bytes = 0;  ///< input bytes that had to be loaded/fetched
@@ -115,18 +129,32 @@ struct FaultSummary {
 };
 
 struct Report {
-  double makespan = 0.0;  ///< seconds
+  double makespan = 0.0;  ///< seconds, submit to last task settled
   std::uint64_t tasks_executed = 0;
   double total_flops = 0.0;
   std::vector<int> assignment;        ///< task -> node
   std::vector<TraceEvent> trace;      ///< empty unless record_trace
-  storage::StorageStats storage;      ///< cluster-wide delta over the run
-  std::uint64_t cross_node_bytes = 0; ///< transport delta over the run
+  /// Cluster-wide stats delta over the job. Exact for a lone job; when
+  /// jobs overlap in time the deltas overlap too (shared cluster).
+  storage::StorageStats storage;
+  std::uint64_t cross_node_bytes = 0; ///< transport delta over the job
   FaultSummary faults;                ///< empty/ok unless a FaultPlan was active
 
   [[nodiscard]] double gflops() const {
     return makespan > 0 ? total_flops / makespan * 1e-9 : 0.0;
   }
+};
+
+/// Per-job scheduling knobs for Engine::submit.
+struct SubmitOptions {
+  /// Job id; 0 = let the engine assign one (see reserve_job_id). Ids of
+  /// live jobs must be unique and non-zero.
+  std::uint32_t job = 0;
+  /// Fair-share weight for the storage admission budget (relative).
+  double weight = 1.0;
+  /// Compute priority: higher-priority jobs' tasks are staged and picked
+  /// first; equal priorities round-robin.
+  int priority = 0;
 };
 
 class Engine {
@@ -137,11 +165,25 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Execute the graph. Without a fault plan (and in blocking-io mode) the
-  /// first task/storage error is rethrown. With the cluster's FaultPlan
-  /// installed, permanent load failures instead retry / re-derive / poison
-  /// per the recovery policy and the run drains, reporting the damage in
-  /// Report::faults.
+  /// Register a job for execution and return its id. The graph must stay
+  /// alive and untouched until await() returns. Thread-safe.
+  std::uint32_t submit(TaskGraph& graph, SubmitOptions options = {});
+  /// Block until the job settles, reap it, and return its Report. Without
+  /// a fault plan (and in blocking-io mode) the job's first task/storage
+  /// error is rethrown here. Each submitted job must be awaited exactly
+  /// once.
+  Report await(std::uint32_t job);
+  /// Non-blocking: has the job settled (await will not block)?
+  [[nodiscard]] bool finished(std::uint32_t job);
+  /// Pre-allocate a job id (for callers that queue jobs before submitting
+  /// them, so the id — and its array-namespace prefix — exists up front).
+  std::uint32_t reserve_job_id();
+  /// Callback fired (outside all engine locks, on a worker thread) when a
+  /// job settles. The jobs layer uses it to pump its admission queue.
+  void set_on_job_done(std::function<void(std::uint32_t)> cb);
+
+  /// Single-job convenience: submit + await. With one live job the
+  /// schedule is exactly the pre-multi-tenant engine's.
   Report run(TaskGraph& graph);
 
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
@@ -150,67 +192,96 @@ class Engine {
   struct NodeState;
   class Probe;
   struct Staged;
+  struct JobRun;
+  using JobPtr = std::shared_ptr<JobRun>;
+
+  /// staged-map key: one namespace of task ids per job.
+  static std::uint64_t staged_key(std::uint32_t job, TaskId t) {
+    return (static_cast<std::uint64_t>(job) << 32) | t;
+  }
 
   void worker_loop(NodeState& ns, int slot);
   void worker_loop_blocking(NodeState& ns, int slot);
-  /// Drain the node's storage completion queue into the core; returns false
-  /// when a completion carried an error and the run must abort (legacy,
-  /// plan-less behaviour). In fault-tolerant mode errors route into
-  /// handle_load_fault instead and nodes that gained work (resurrected
-  /// producers, settle fan-out) are appended to `wakes` for the caller to
-  /// notify once ns.mutex is released. ns.mutex held.
-  bool drain_completions(NodeState& ns, std::vector<int>& wakes);
+  /// Live (not settled/failed) jobs in scheduling order: priority
+  /// descending, id ascending within a tier. `rotate` offsets the start
+  /// within the top tier for per-node round-robin fairness.
+  std::vector<JobPtr> job_snapshot(std::uint64_t rotate);
+  /// Drain the node's storage completion queue into the owning jobs'
+  /// cores. Jobs whose completion carried an error (plan-less mode) are
+  /// appended to `failures`; in fault-tolerant mode errors route into
+  /// handle_load_fault, nodes that gained work are appended to `wakes`,
+  /// and jobs a poisoning settled to `settled`. ns.mutex held; the out
+  /// lists are processed by the caller with it released.
+  void drain_completions(NodeState& ns, std::vector<int>& wakes, std::vector<JobPtr>& failures,
+                         std::vector<JobPtr>& settled);
   /// A staged task's input load failed permanently (the I/O filters already
   /// exhausted the retry/backoff policy). Re-derives lost blocks, then asks
   /// the core to retry or poison the task. ns.mutex held.
-  void handle_load_fault(NodeState& ns, TaskId t, const std::exception_ptr& err,
-                         std::vector<int>& wakes);
+  void handle_load_fault(NodeState& ns, const JobPtr& jr, TaskId t,
+                         const std::exception_ptr& err, std::vector<int>& wakes,
+                         std::vector<JobPtr>& settled);
   /// Re-queue Done producers of `t`'s inputs whose write-once output blocks
   /// are genuinely lost (no live holder, no durable copy). ns.mutex held.
-  void maybe_resurrect_producers(NodeState& ns, TaskId t, std::vector<int>& wakes);
+  void maybe_resurrect_producers(NodeState& ns, const JobPtr& jr, TaskId t,
+                                 std::vector<int>& wakes);
   [[nodiscard]] bool block_lost(const storage::Interval& in) const;
   /// Purge every output block of `p` cluster-wide so a re-run may rewrite
   /// them; false when some block is still live (pinned / awaited).
-  bool forget_outputs(TaskId p);
+  bool forget_outputs(const JobPtr& jr, TaskId p);
   /// Bump + notify each listed node's wake counter, then clear the list.
   /// Must be called with no ns.mutex held.
   void notify_nodes(std::vector<int>& nodes);
-  /// Stage policy-picked tasks (resident first, then missing up to the
-  /// window) and issue their async reads. ns.mutex held via `lock`; the
-  /// reads themselves are issued with it released.
-  void stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock);
-  /// Issue prefetches for the next `prefetch_window` tasks (blocking-io
-  /// compatibility pass). ns.mutex held.
-  void prefetch_blocking_locked(NodeState& ns);
-  void execute(NodeState& ns, int slot, TaskId t, Staged* staged);
-  void complete(TaskId t);
-  void record_error(std::exception_ptr e);
-  /// Bump every node's wake counter and notify (abort / all-done fanout).
-  /// Must be called with no ns.mutex held.
+  /// Stage policy-picked tasks of every live job (resident first, then
+  /// missing up to each job's window) and issue their async reads.
+  /// ns.mutex held via `lock`; the reads themselves are issued with it
+  /// released.
+  void stage_tasks(NodeState& ns, std::unique_lock<std::mutex>& lock,
+                   const std::vector<JobPtr>& jobs);
+  /// Issue prefetches for the next `prefetch_window` tasks of a job
+  /// (blocking-io compatibility pass). ns.mutex held.
+  void prefetch_blocking_locked(NodeState& ns, JobRun& jr);
+  void execute(NodeState& ns, int slot, JobRun& jr, TaskId t, Staged* staged);
+  /// finish() on the job's core, wake nodes that gained work, retire the
+  /// job if that settled it. No locks held on entry.
+  void complete(const JobPtr& jr, TaskId t);
+  /// Fail the whole job (task body threw, or a storage error in plan-less
+  /// mode): record the error, drop its staged inputs on every node, settle
+  /// it. No locks held on entry.
+  void fail_job(const JobPtr& jr, std::exception_ptr e);
+  /// The job settled: build its Report, mark done, notify awaiters and the
+  /// on-done callback. No locks held on entry.
+  void retire_job(const JobPtr& jr);
+  /// Start workers / open completion queues on first submit.
+  void ensure_started();
+  /// Bump every node's wake counter and notify. No ns.mutex held.
   void wake_all();
 
   storage::StorageCluster& cluster_;
   EngineConfig config_;
   std::vector<std::unique_ptr<ThreadPool>> split_pools_;
   std::unique_ptr<Probe> probe_;
-
-  // Per-run state (valid during run()).
-  TaskGraph* graph_ = nullptr;
-  std::vector<int> assignment_;
-  std::unique_ptr<ExecutorCore> core_;
-  std::vector<std::unique_ptr<NodeState>> node_states_;
-  std::uint64_t run_epoch_ = 0;  ///< tags completions; stale runs are dropped
   /// The cluster has a FaultPlan and we run completion-driven: storage
-  /// errors go through the recovery policy instead of aborting.
+  /// errors go through the recovery policy instead of aborting the job.
   bool fault_tolerant_ = false;
-  std::mutex fault_mutex_;
-  FaultSummary faults_;  ///< guarded by fault_mutex_
-  std::atomic<bool> abort_{false};
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
-  Stopwatch clock_;
-  std::mutex trace_mutex_;
-  std::vector<TraceEvent> trace_;
+
+  // Job table. Lock order: ns.mutex before jobs_mutex_; never the reverse.
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;  ///< signalled on job done
+  std::unordered_map<std::uint32_t, JobPtr> jobs_;
+  /// Completion tags carry only the low 16 bits of the job id.
+  std::unordered_map<std::uint16_t, JobPtr> jobs_by_tag_;
+  std::atomic<std::uint32_t> next_job_id_{1};
+  std::atomic<std::uint64_t> jobs_version_{0};  ///< bumped on add/retire
+  std::function<void(std::uint32_t)> on_job_done_;
+
+  std::vector<std::unique_ptr<NodeState>> node_states_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+  bool started_ = false;  ///< guarded by start_mutex_
+  std::mutex start_mutex_;
+
+  std::mutex fault_mutex_;   ///< guards every JobRun's FaultSummary
+  std::mutex trace_mutex_;   ///< guards every JobRun's TraceEvent vector
 };
 
 }  // namespace dooc::sched

@@ -32,6 +32,17 @@ TaskId TaskGraph::writer_of(const storage::Interval& iv) const {
   return kInvalidTask;
 }
 
+void TaskGraph::rename_arrays(const std::function<std::string(const std::string&)>& fn) {
+  for (Task& t : tasks_) {
+    for (auto& in : t.inputs) in.array = fn(in.array);
+    for (auto& out : t.outputs) out.array = fn(out.array);
+  }
+  for (auto& [array, records] : writers_) {
+    array = fn(array);
+    for (auto& r : records) r.iv.array = array;
+  }
+}
+
 void TaskGraph::build() {
   DOOC_REQUIRE(!built_, "build() called twice");
   const std::size_t n = tasks_.size();

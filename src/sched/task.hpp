@@ -67,6 +67,12 @@ class TaskGraph {
 
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
+  /// Rewrite every array name in the graph (task inputs/outputs and the
+  /// derived writer index) through `fn`. Interval geometry and edges are
+  /// untouched — renaming is how the jobs layer namespaces a job's arrays
+  /// without rebuilding its graph. Works before or after build().
+  void rename_arrays(const std::function<std::string(const std::string&)>& fn);
+
  private:
   std::vector<Task> tasks_;
   std::vector<std::vector<TaskId>> succ_;

@@ -547,4 +547,459 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
   return metrics_;
 }
 
+double MultiJobMetrics::jain(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  return sq > 0.0 ? (sum * sum) / (static_cast<double>(xs.size()) * sq) : 1.0;
+}
+
+MultiJobMetrics SimEngine::run_jobs(const std::vector<SimJob>& jobs, sched::LocalPolicy policy) {
+  DOOC_REQUIRE(!jobs.empty(), "run_jobs() needs at least one job");
+
+  // Per-job execution contexts: one ExecutorCore each, multiplexed onto
+  // the shared modeled nodes — the DES mirror of the multi-tenant engine.
+  struct Ctx {
+    const SimJob* spec = nullptr;
+    std::uint32_t idx = 0;
+    std::vector<int> assignment;
+    std::unique_ptr<sched::ExecutorCore> core;
+    bool done = false;
+    double finish = 0.0;
+    double flops = 0.0;
+    std::uint64_t tasks = 0;
+  };
+
+  policy_ = policy;
+  now_ = 0;
+  metrics_ = SimMetrics{};  // scratch for ensure_fetch's byte counters
+  net_ = FlowNetwork{};
+  flow_target_.clear();
+  flow_start_.clear();
+  gpfs_flows_.clear();
+  noise_state_ = 0;
+  plan_ = nullptr;  // fault injection is a single-job (run) feature
+  fetch_failures_.clear();
+  blocked_until_.clear();
+  arriving_.clear();
+
+  gpfs_node_link_.clear();
+  ib_egress_.clear();
+  ib_ingress_.clear();
+  gpfs_aggregate_ = net_.add_resource("gpfs", res_.aggregate_read_cap);
+  for (int n = 0; n < num_nodes_; ++n) {
+    gpfs_node_link_.push_back(
+        net_.add_resource("gpfs_client_" + std::to_string(n), res_.node_read_cap));
+    ib_egress_.push_back(net_.add_resource("ib_out_" + std::to_string(n), res_.ib_link));
+    ib_ingress_.push_back(net_.add_resource("ib_in_" + std::to_string(n), res_.ib_link));
+  }
+
+  // Array state is shared: read counts pool across jobs, so a durable
+  // array read by several jobs survives until its last reader anywhere.
+  // Written arrays must be private to one job (namespace them).
+  arrays_.clear();
+  for (const auto& [name, meta] : meta_) {
+    ArrayState st;
+    st.bytes = meta.bytes;
+    st.home = meta.home_node;
+    st.durable = meta.durable;
+    arrays_.emplace(name, st);
+  }
+  std::map<std::string, std::uint32_t> writer_job;
+  std::vector<Ctx> ctxs(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const SimJob& spec = jobs[j];
+    DOOC_REQUIRE(spec.graph != nullptr && spec.graph->built(),
+                 "run_jobs() needs built task graphs");
+    DOOC_REQUIRE(spec.weight > 0.0, "job weight must be positive");
+    for (TaskId t = 0; t < spec.graph->size(); ++t) {
+      for (const auto& in : spec.graph->task(t).inputs) {
+        auto it = arrays_.find(in.array);
+        DOOC_REQUIRE(it != arrays_.end(), "task reads unknown array '" + in.array + "'");
+        ++it->second.readers_remaining;
+      }
+      for (const auto& out : spec.graph->task(t).outputs) {
+        const auto [wit, inserted] = writer_job.emplace(out.array, static_cast<std::uint32_t>(j));
+        DOOC_REQUIRE(inserted || wit->second == j,
+                     "jobs " + std::to_string(wit->second) + " and " + std::to_string(j) +
+                         " both write array '" + out.array + "' — namespace per-job arrays");
+      }
+    }
+  }
+
+  class VirtualLocator final : public sched::DataLocator {
+   public:
+    explicit VirtualLocator(const std::map<std::string, solver::VirtualArray>* m) : m_(m) {}
+    [[nodiscard]] int home_of(const storage::ArrayName& name) const override {
+      auto it = m_->find(name);
+      return it == m_->end() ? -1 : it->second.home_node;
+    }
+
+   private:
+    const std::map<std::string, solver::VirtualArray>* m_;
+  };
+  VirtualLocator locator(&meta_);
+  sched::CoreConfig core_config;
+  core_config.policy = policy;
+  core_config.prefetch_window = res_.prefetch_window;
+  core_config.demand_slots = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    Ctx& c = ctxs[j];
+    c.spec = &jobs[j];
+    c.idx = static_cast<std::uint32_t>(j);
+    sched::GlobalScheduler global(num_nodes_);
+    c.assignment = global.assign(*jobs[j].graph, locator);
+    c.core = std::make_unique<sched::ExecutorCore>(*jobs[j].graph, c.assignment, num_nodes_,
+                                                   core_config,
+                                                   static_cast<sched::ResidencyProbe*>(this));
+  }
+
+  nodes_.clear();
+  for (int n = 0; n < num_nodes_; ++n) {
+    auto ns = std::make_unique<NodeState>();
+    ns->node = n;
+    nodes_.push_back(std::move(ns));
+  }
+
+  // Per-node fair-share fetch arbitration: the same WDRR arbiter the real
+  // storage layer runs, clocked in virtual nanoseconds.
+  MultiJobMetrics out;
+  const bool budgeted = res_.inflight_load_budget != 0;
+  std::vector<FairShare> fair(static_cast<std::size_t>(num_nodes_));
+  struct Deferred {
+    std::string array;
+    std::uint64_t bytes = 0;
+    std::uint64_t since_ns = 0;
+  };
+  // node -> tenant (job index) -> FIFO of deferred fetch admissions.
+  std::vector<std::map<TenantId, std::deque<Deferred>>> deferred(
+      static_cast<std::size_t>(num_nodes_));
+  if (budgeted) {
+    FairShareConfig fcfg = res_.fair_share;
+    fcfg.budget_bytes = res_.inflight_load_budget;
+    for (int n = 0; n < num_nodes_; ++n) {
+      fair[static_cast<std::size_t>(n)].set_config(fcfg);
+      for (const Ctx& c : ctxs) {
+        fair[static_cast<std::size_t>(n)].set_tenant(c.idx, c.spec->weight, c.spec->priority);
+      }
+    }
+  }
+  // (node, array) -> job charged for the in-flight fetch.
+  std::map<std::pair<int, std::string>, std::uint32_t> flow_job;
+  // node -> (job, task, end time) of running compute.
+  std::vector<std::vector<std::tuple<std::uint32_t, TaskId, double>>> running(
+      static_cast<std::size_t>(num_nodes_));
+  std::vector<std::uint64_t> rr(static_cast<std::size_t>(num_nodes_), 0);
+
+  const auto now_ns = [&] { return static_cast<std::uint64_t>(now_ * 1e9); };
+  const bool tracing = obs::trace_enabled();
+
+  const auto active = [&](const Ctx& c) { return !c.done && c.spec->arrival <= now_ + 1e-12; };
+
+  // Active jobs in scheduling order: priority desc, index asc, rotated
+  // within the top tier — same ordering rule as the engine's job_snapshot.
+  const auto job_order = [&](int node) {
+    std::vector<Ctx*> order;
+    for (Ctx& c : ctxs) {
+      if (active(c)) order.push_back(&c);
+    }
+    std::sort(order.begin(), order.end(), [](const Ctx* a, const Ctx* b) {
+      if (a->spec->priority != b->spec->priority) return a->spec->priority > b->spec->priority;
+      return a->idx < b->idx;
+    });
+    if (order.size() > 1) {
+      std::size_t tier = 1;
+      while (tier < order.size() && order[tier]->spec->priority == order[0]->spec->priority) {
+        ++tier;
+      }
+      if (tier > 1) {
+        const std::size_t off = static_cast<std::size_t>(rr[static_cast<std::size_t>(node)]) % tier;
+        std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(off),
+                    order.begin() + static_cast<std::ptrdiff_t>(tier));
+      }
+    }
+    return order;
+  };
+
+  // Start the modeled fetch if ensure_fetch admits it (memory, holder).
+  const auto try_start = [&](NodeState& ns, const std::string& array) {
+    ensure_fetch(ns, array);
+    const auto it = arrays_.find(array);
+    return it != arrays_.end() && it->second.fetching_on.count(ns.node) != 0;
+  };
+
+  const auto others_waiting = [&](int node, TenantId tenant) {
+    for (const auto& [t, q] : deferred[static_cast<std::size_t>(node)]) {
+      if (t != tenant && !q.empty()) return true;
+    }
+    return false;
+  };
+
+  // Fetch with fair-share admission in front of ensure_fetch's memory
+  // admission (the DES mirror of StorageNode::schedule_fetch).
+  const auto fetch = [&](NodeState& ns, const Ctx& c, const std::string& array) {
+    const auto it = arrays_.find(array);
+    if (it == arrays_.end() || it->second.bytes <= kControlBytes) return;
+    const ArrayState& st = it->second;
+    if (st.resident_on.count(ns.node) != 0 || st.fetching_on.count(ns.node) != 0) return;
+    const auto n = static_cast<std::size_t>(ns.node);
+    if (!budgeted) {
+      (void)try_start(ns, array);
+      return;
+    }
+    auto& queue = deferred[n][c.idx];
+    for (const Deferred& d : queue) {
+      if (d.array == array) return;  // already waiting for admission
+    }
+    if (!fair[n].try_admit(c.idx, st.bytes, others_waiting(ns.node, c.idx))) {
+      queue.push_back(Deferred{array, st.bytes, now_ns()});
+      ++out.deferred_fetches;
+      return;
+    }
+    if (try_start(ns, array)) {
+      fair[n].charge(c.idx, st.bytes);
+      flow_job[{ns.node, array}] = c.idx;
+    }
+  };
+
+  // Grant deferred fetches in WDRR order while the budget allows.
+  const auto drain_deferred = [&](NodeState& ns) {
+    if (!budgeted) return;
+    const auto n = static_cast<std::size_t>(ns.node);
+    while (true) {
+      auto& queues = deferred[n];
+      std::vector<FairShare::Head> heads;
+      for (auto qit = queues.begin(); qit != queues.end();) {
+        auto& q = qit->second;
+        // Entries whose array landed meanwhile (another job fetched it, or
+        // a producer output it here) are satisfied already.
+        while (!q.empty()) {
+          const auto ait = arrays_.find(q.front().array);
+          if (ait != arrays_.end() && ait->second.resident_on.count(ns.node) == 0 &&
+              ait->second.fetching_on.count(ns.node) == 0) {
+            break;
+          }
+          q.pop_front();
+        }
+        if (q.empty()) {
+          qit = queues.erase(qit);
+          continue;
+        }
+        heads.push_back(FairShare::Head{qit->first, q.front().bytes, q.front().since_ns});
+        ++qit;
+      }
+      if (heads.empty()) return;
+      const TenantId granted = fair[n].pick(heads, now_ns());
+      if (granted == FairShare::kNone) return;
+      auto& q = queues.at(granted);
+      const Deferred d = q.front();
+      q.pop_front();
+      if (q.empty()) queues.erase(granted);
+      if (try_start(ns, d.array)) {
+        fair[n].charge(granted, d.bytes);
+        flow_job[{ns.node, d.array}] = granted;
+      } else {
+        // Memory admission refused: put it back and stop — pressure clears
+        // when running tasks finish or flows land.
+        deferred[n][granted].push_front(d);
+        return;
+      }
+    }
+  };
+
+  const auto schedule_node = [&](NodeState& ns) {
+    using sched::StageDecision;
+    using sched::StageSelect;
+    const std::vector<Ctx*> order = job_order(ns.node);
+    if (order.empty()) return;
+    // 1+2. Re-probe residency and stage fully-resident candidates, per job.
+    for (Ctx* c : order) {
+      c->core->refresh(ns.node);
+      while (true) {
+        const StageDecision d = c->core->next_to_stage(ns.node, StageSelect::Resident);
+        if (d.task == sched::kInvalidTask) break;
+        c->core->stage(d.task, 0);
+      }
+    }
+    // 3. Fill the shared compute slots round-robin over the jobs. The
+    //    rotation is re-derived after every grant: a single call often fills
+    //    several slots, and advancing rr without re-rotating lets the offset
+    //    alias with the pick count (e.g. two jobs, two slots per wake-up →
+    //    the same job wins the front position forever).
+    auto& runs = running[static_cast<std::size_t>(ns.node)];
+    while (static_cast<int>(runs.size()) < res_.compute_slots) {
+      Ctx* picked = nullptr;
+      TaskId t = sched::kInvalidTask;
+      for (Ctx* c : job_order(ns.node)) {
+        t = c->core->take_runnable(ns.node);
+        if (t != sched::kInvalidTask) {
+          picked = c;
+          break;
+        }
+      }
+      if (picked == nullptr) break;
+      ++rr[static_cast<std::size_t>(ns.node)];
+      const Task& task = picked->spec->graph->task(t);
+      const double dur = task_duration(task);
+      runs.emplace_back(picked->idx, t, now_ + dur);
+      if (tracing) {
+        obs::Event ev;
+        ev.phase = obs::Phase::Complete;
+        ev.cat = obs::intern("task");
+        ev.name = obs::intern(task.name);
+        ev.pid = ns.node;
+        ev.tid = static_cast<std::int32_t>(runs.size()) - 1;
+        ev.ts_ns = now_ns();
+        ev.dur_ns = static_cast<std::uint64_t>(dur * 1e9);
+        ev.nargs = 2;
+        ev.arg_name[0] = obs::intern("task");
+        ev.arg_val[0] = t;
+        ev.arg_name[1] = obs::intern("job");
+        ev.arg_val[1] = picked->idx;
+        obs::TraceSession::instance().emit(ev);
+      }
+      for (const auto& in : task.inputs) {
+        if (in.length <= kControlBytes) continue;
+        ++ns.pins[in.array];
+        ns.lru_tick[in.array] = ++ns.tick;
+      }
+    }
+    // 4. Stage missing-data tasks up to each job's window and issue their
+    //    fetches through the fair-share arbiter.
+    for (Ctx* c : order) {
+      while (true) {
+        const StageDecision d = c->core->next_to_stage(ns.node, StageSelect::Missing);
+        if (d.task == sched::kInvalidTask) break;
+        c->core->stage(d.task, 1);
+        for (const auto& in : c->spec->graph->task(d.task).inputs) fetch(ns, *c, in.array);
+      }
+      for (const TaskId pending : c->core->pending_tasks(ns.node)) {
+        for (const auto& in : c->spec->graph->task(pending).inputs) fetch(ns, *c, in.array);
+      }
+    }
+    drain_deferred(ns);
+  };
+
+  const auto finish_task = [&](NodeState& ns, Ctx& c, TaskId t) {
+    const Task& task = c.spec->graph->task(t);
+    for (const auto& in : task.inputs) {
+      if (in.length > kControlBytes) {
+        auto pin = ns.pins.find(in.array);
+        if (pin != ns.pins.end() && pin->second > 0) --pin->second;
+      }
+      release_reader(in.array);
+    }
+    for (const auto& out : task.outputs) {
+      evict_for(ns, arrays_.at(out.array).bytes);
+      make_resident(ns.node, out.array);
+    }
+    c.flops += task.est_flops;
+    ++c.tasks;
+    std::vector<std::pair<int, TaskId>> newly_assigned;
+    c.core->finish(t, newly_assigned);
+    if (c.core->all_settled()) {
+      c.done = true;
+      c.finish = now_;
+    }
+  };
+
+  const auto all_done = [&] {
+    for (const Ctx& c : ctxs) {
+      if (!c.done) return false;
+    }
+    return true;
+  };
+
+  std::size_t total = 0;
+  for (const SimJob& j : jobs) total += j.graph->size();
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 100 * total + 100000;
+  while (!all_done()) {
+    DOOC_CHECK(++guard < guard_limit, "multi-job simulation event-loop guard tripped");
+    for (auto& ns : nodes_) schedule_node(*ns);
+
+    double dt = net_.next_completion_delta();
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (const auto& [j, t, end] : running[static_cast<std::size_t>(n)]) {
+        dt = std::min(dt, end - now_);
+      }
+    }
+    for (const Ctx& c : ctxs) {
+      if (!c.done && c.spec->arrival > now_ + 1e-12) dt = std::min(dt, c.spec->arrival - now_);
+    }
+    if (!std::isfinite(dt)) {
+      bool progress_possible = false;
+      for (const auto& ns : nodes_) {
+        for (const Ctx& c : ctxs) {
+          if (!active(c)) continue;
+          if (c.core->backlog(ns->node) > 0 || c.core->pending(ns->node) > 0 ||
+              c.core->runnable(ns->node) > 0) {
+            progress_possible = true;
+          }
+        }
+        if (!running[static_cast<std::size_t>(ns->node)].empty()) progress_possible = true;
+      }
+      DOOC_CHECK(progress_possible, "multi-job simulated execution deadlocked");
+      now_ += 1e-3;
+      continue;
+    }
+    dt = std::max(dt, 0.0);
+    const auto finished = net_.advance(dt);
+    now_ += dt;
+    for (FlowId id : finished) {
+      const auto [node, array] = flow_target_.at(id);
+      flow_target_.erase(id);
+      gpfs_flows_.erase(id);
+      flow_start_.erase(id);
+      auto& ns = *nodes_[static_cast<std::size_t>(node)];
+      auto& st = arrays_.at(array);
+      st.fetching_on.erase(node);
+      ns.inflight_bytes -= st.bytes;
+      if (budgeted) {
+        const auto fj = flow_job.find({node, array});
+        if (fj != flow_job.end()) {
+          fair[static_cast<std::size_t>(node)].release(fj->second, st.bytes);
+          flow_job.erase(fj);
+        }
+      }
+      if (st.readers_remaining > 0) make_resident(node, array);
+      drain_deferred(ns);
+    }
+    for (int n = 0; n < num_nodes_; ++n) {
+      auto& runs = running[static_cast<std::size_t>(n)];
+      for (std::size_t i = 0; i < runs.size();) {
+        if (std::get<2>(runs[i]) <= now_ + 1e-12) {
+          const auto [j, t, end] = runs[i];
+          runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(i));
+          finish_task(*nodes_[static_cast<std::size_t>(n)], ctxs[j], t);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  out.makespan = now_;
+  out.disk_bytes = metrics_.disk_bytes;
+  out.net_bytes = metrics_.net_bytes;
+  for (const FairShare& f : fair) out.starvation_overrides += f.starvation_overrides();
+  out.jobs.reserve(ctxs.size());
+  for (const Ctx& c : ctxs) {
+    SimJobMetrics jm;
+    jm.job = c.idx;
+    jm.arrival = c.spec->arrival;
+    jm.finish = c.finish;
+    jm.latency = c.finish - c.spec->arrival;
+    jm.total_flops = c.flops;
+    jm.tasks = c.tasks;
+    out.jobs.push_back(jm);
+  }
+  metrics_ = SimMetrics{};
+  return out;
+}
+
 }  // namespace dooc::sim

@@ -26,6 +26,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/fair_share.hpp"
 #include "fault/fault_plan.hpp"
 #include "sched/executor_core.hpp"
 #include "sched/global_scheduler.hpp"
@@ -59,6 +60,14 @@ struct SimResources {
   int compute_slots = 2;
   int prefetch_window = 2;
   std::uint64_t seed = 42;
+  /// Per-node in-flight fetch budget for run_jobs: concurrent fetch bytes a
+  /// node admits, arbitrated WDRR across jobs by the same FairShare the
+  /// real storage layer uses (under virtual time). 0 = no budget (fetches
+  /// admit freely, as run() does). run() ignores this.
+  std::uint64_t inflight_load_budget = 0;
+  /// WDRR knobs for run_jobs (budget_bytes is overridden by
+  /// inflight_load_budget; starvation_ns counts virtual nanoseconds).
+  FairShareConfig fair_share;
 };
 
 struct SimMetrics {
@@ -87,6 +96,38 @@ struct SimMetrics {
   }
 };
 
+/// One tenant of a multi-job DES replay (see SimEngine::run_jobs). The
+/// graph must be built, stay alive for the run, and not write any array
+/// another job writes (namespace per-job arrays, e.g. jobs::namespaced).
+struct SimJob {
+  const sched::TaskGraph* graph = nullptr;
+  double arrival = 0.0;  ///< virtual submit time, seconds
+  double weight = 1.0;   ///< fair-share weight for fetch admission
+  int priority = 0;      ///< strict between tiers, round-robin within one
+};
+
+/// Per-job outcome of a run_jobs replay.
+struct SimJobMetrics {
+  std::uint32_t job = 0;   ///< index into the submitted vector
+  double arrival = 0.0;
+  double finish = 0.0;     ///< virtual completion time
+  double latency = 0.0;    ///< finish - arrival (queueing + service)
+  double total_flops = 0.0;
+  std::uint64_t tasks = 0;
+};
+
+struct MultiJobMetrics {
+  std::vector<SimJobMetrics> jobs;
+  double makespan = 0.0;          ///< last finish
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t deferred_fetches = 0;   ///< fetch admissions the WDRR arbiter queued
+  std::uint64_t starvation_overrides = 0;  ///< aging-guard grants across all nodes
+
+  /// Jain fairness index over per-job values ((Σx)² / (n·Σx²), 1 = fair).
+  static double jain(const std::vector<double>& xs);
+};
+
 // The DES shares the sched::ExecutorCore state machine with the real
 // engine: staging decisions, policy ordering and the prefetch window come
 // from the core; the simulator only charges virtual costs and reports
@@ -107,6 +148,18 @@ class SimEngine : private sched::ResidencyProbe {
   /// inputs can never materialize).
   SimMetrics run(const sched::TaskGraph& graph,
                  sched::LocalPolicy policy = sched::LocalPolicy::DataAware);
+
+  /// Multi-tenant replay: execute N jobs concurrently under virtual time,
+  /// mirroring the multi-tenant engine — one ExecutorCore per job, shared
+  /// compute slots iterated priority-desc/round-robin, fetch admission
+  /// arbitrated per node by the same FairShare WDRR arbiter the real
+  /// storage layer runs (SimResources::inflight_load_budget). Jobs arrive
+  /// at their virtual arrival times. Deterministic for fixed inputs; the
+  /// fault plan is ignored on this path. Array read counts are pooled
+  /// across jobs, so read-shared (durable) arrays persist until their last
+  /// reader anywhere finishes.
+  MultiJobMetrics run_jobs(const std::vector<SimJob>& jobs,
+                           sched::LocalPolicy policy = sched::LocalPolicy::DataAware);
 
   /// Replay a fault-injection schedule under virtual time: modeled fetches
   /// draw verdicts from the same FaultPlan the real storage layer consults

@@ -35,6 +35,14 @@ StorageCluster::StorageCluster(int num_nodes, const StorageConfig& base,
 
 StorageCluster::~StorageCluster() = default;
 
+void StorageCluster::set_tenant(TenantId tenant, double weight, int priority) {
+  for (auto& n : nodes_) n->set_tenant(tenant, weight, priority);
+}
+
+void StorageCluster::retire_tenant(TenantId tenant) {
+  for (auto& n : nodes_) n->retire_tenant(tenant);
+}
+
 StorageStats StorageCluster::total_stats() {
   StorageStats total;
   for (auto& n : nodes_) {

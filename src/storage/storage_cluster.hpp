@@ -33,6 +33,10 @@ class StorageCluster {
     return fault_plan_;
   }
 
+  /// Register / retire a tenant (job) on every node's fair-share arbiter.
+  void set_tenant(TenantId tenant, double weight, int priority = 0);
+  void retire_tenant(TenantId tenant);
+
   /// Aggregate statistics over all nodes.
   [[nodiscard]] StorageStats total_stats();
   [[nodiscard]] std::uint64_t total_resident_bytes();

@@ -100,6 +100,9 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
   DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
   scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
   fs::create_directories(scratch_dir_);
+  FairShareConfig fair_cfg = config_.fair_share;
+  fair_cfg.budget_bytes = config_.max_inflight_load_bytes;
+  fair_.set_config(fair_cfg);
 }
 
 StorageNode::~StorageNode() = default;
@@ -271,11 +274,12 @@ void StorageNode::read_async(const Interval& iv, ReadCallback cb) {
   enqueue_read(iv, std::move(w));
 }
 
-void StorageNode::read_async(const Interval& iv, std::uint64_t tag) {
+void StorageNode::read_async(const Interval& iv, std::uint64_t tag, TenantId tenant) {
   detail::ReadWaiter w;
   w.iv = iv;
   w.tag = tag;
   w.via_queue = true;
+  w.tenant = tenant;
   enqueue_read(iv, std::move(w));
 }
 
@@ -299,7 +303,8 @@ void StorageNode::deliver(detail::ReadWaiter&& w, ReadHandle handle, std::except
       // both drop those.
       obs::emit_flow(obs::Phase::FlowStep, obs::intern("load"), obs::intern("deliver"), id_,
                      obs::current_thread_lane(), obs::TraceClock::now_ns(),
-                     obs::causal::flow_id_load(w.iv.array, w.iv.offset));
+                     obs::causal::flow_id_load(w.iv.array, w.iv.offset), obs::intern("job"),
+                     w.tenant);
     }
     Completion c;
     c.tag = w.tag;
@@ -347,11 +352,12 @@ void StorageNode::enqueue_read(const Interval& iv, detail::ReadWaiter waiter) {
     block->state = BlockState::Loading;
     blocks_.emplace(key, block);
   }
+  const TenantId tenant = waiter.tenant;
   block->read_waiters.push_back(std::move(waiter));
   if (block->state == BlockState::Loading) {
     if (!block->fetch_inflight) {
       block->fetch_inflight = true;
-      schedule_fetch(meta, block, /*demand=*/true);
+      schedule_fetch(meta, block, /*demand=*/true, tenant);
     } else {
       // Same block already being obtained: this request rides along.
       m_fetch_deduped_->add();
@@ -360,7 +366,7 @@ void StorageNode::enqueue_read(const Interval& iv, detail::ReadWaiter waiter) {
   }
 }
 
-void StorageNode::prefetch(const Interval& iv) {
+void StorageNode::prefetch(const Interval& iv, TenantId tenant) {
   const ArrayMeta meta = resolve_meta(iv.array);
   const std::uint64_t b = check_interval(meta, iv);
   {
@@ -377,7 +383,7 @@ void StorageNode::prefetch(const Interval& iv) {
     if (it->second->state == BlockState::Loading) {
       if (!it->second->fetch_inflight) {
         it->second->fetch_inflight = true;
-        schedule_fetch(meta, it->second, /*demand=*/false);
+        schedule_fetch(meta, it->second, /*demand=*/false, tenant);
       } else {
         m_fetch_deduped_->add();
       }
@@ -391,23 +397,35 @@ void StorageNode::prefetch(const Interval& iv) {
   block->state = BlockState::Loading;
   block->fetch_inflight = true;
   blocks_.emplace(key, block);
-  schedule_fetch(meta, block, /*demand=*/false);
+  schedule_fetch(meta, block, /*demand=*/false, tenant);
 }
 
-void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand) {
+bool StorageNode::others_waiting_locked(TenantId t) const {
+  for (const auto& [tenant, queue] : deferred_fetches_) {
+    if (tenant != t && !queue.empty()) return true;
+  }
+  return false;
+}
+
+void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand,
+                                 TenantId tenant) {
+  block->fetch_tenant = tenant;
   const std::uint64_t budget = config_.max_inflight_load_bytes;
-  if (budget != 0 && inflight_load_bytes_ > 0 &&
-      inflight_load_bytes_ + block->bytes > budget) {
-    // Over budget: park the fetch. Demand reads jump the line so a worker
-    // waiting on this block is served before speculative prefetches. (When
-    // nothing is in flight even an oversized block proceeds — the budget
-    // bounds concurrency, it never starves a load outright.)
+  if (budget != 0 && !fair_.try_admit(tenant, block->bytes, others_waiting_locked(tenant))) {
+    // Over budget (or over this tenant's contended share cap): park the
+    // fetch in the tenant's queue. Demand reads jump the line so a worker
+    // waiting on this block is served before speculative prefetches; the
+    // WDRR arbiter decides which tenant's head starts as budget frees up.
+    // (When nothing is in flight even an oversized block proceeds — the
+    // budget bounds concurrency, it never starves a load outright.)
     m_fetch_deferred_->add();
     block->fetch_deferred = true;
+    block->deferred_since_ns = obs::TraceClock::now_ns();
+    auto& queue = deferred_fetches_[tenant];
     if (demand) {
-      deferred_fetches_.emplace_front(meta, block);
+      queue.emplace_front(meta, block);
     } else {
-      deferred_fetches_.emplace_back(meta, block);
+      queue.emplace_back(meta, block);
     }
     return;
   }
@@ -417,7 +435,8 @@ void StorageNode::schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, b
 void StorageNode::start_fetch_locked(const ArrayMeta& meta, const BlockPtr& block) {
   block->fetch_deferred = false;
   block->budget_charged = true;
-  inflight_load_bytes_ += block->bytes;
+  fair_.charge(block->fetch_tenant, block->bytes);
+  inflight_load_bytes_ = fair_.inflight_total();
   m_fetch_started_->add();
   m_inflight_gauge_->set(static_cast<double>(inflight_load_bytes_));
   if (obs::trace_enabled()) {
@@ -431,7 +450,8 @@ void StorageNode::start_fetch_locked(const ArrayMeta& meta, const BlockPtr& bloc
 void StorageNode::release_budget_locked(const BlockPtr& block) {
   if (!block->budget_charged) return;
   block->budget_charged = false;
-  inflight_load_bytes_ -= block->bytes;
+  fair_.release(block->fetch_tenant, block->bytes);
+  inflight_load_bytes_ = fair_.inflight_total();
   m_inflight_gauge_->set(static_cast<double>(inflight_load_bytes_));
   if (obs::trace_enabled()) {
     obs::emit_counter(obs::intern("storage"), obs::intern("inflight_bytes"), id_,
@@ -441,31 +461,62 @@ void StorageNode::release_budget_locked(const BlockPtr& block) {
 }
 
 void StorageNode::drain_deferred_locked() {
-  const std::uint64_t budget = config_.max_inflight_load_bytes;
-  while (!deferred_fetches_.empty()) {
-    auto& [meta, block] = deferred_fetches_.front();
-    if (budget != 0 && inflight_load_bytes_ > 0 &&
-        inflight_load_bytes_ + block->bytes > budget) {
-      return;
+  while (true) {
+    // Prune entries whose block was failed or deleted while parked, then
+    // put each tenant's head up for arbitration.
+    std::vector<FairShare::Head> heads;
+    for (auto it = deferred_fetches_.begin(); it != deferred_fetches_.end();) {
+      auto& queue = it->second;
+      while (!queue.empty() && (queue.front().second->state != BlockState::Loading ||
+                                !queue.front().second->fetch_inflight)) {
+        queue.pop_front();
+      }
+      if (queue.empty()) {
+        it = deferred_fetches_.erase(it);
+        continue;
+      }
+      const BlockPtr& head = queue.front().second;
+      heads.push_back({it->first, head->bytes, head->deferred_since_ns});
+      ++it;
     }
-    const ArrayMeta m = std::move(meta);
-    const BlockPtr b = std::move(block);
-    deferred_fetches_.pop_front();
-    // Skip entries whose block was failed or deleted while parked.
-    if (b->state != BlockState::Loading || !b->fetch_inflight) continue;
+    if (heads.empty()) return;
+    const TenantId granted = fair_.pick(heads, obs::TraceClock::now_ns());
+    if (granted == FairShare::kNone) return;
+    auto& queue = deferred_fetches_[granted];
+    const ArrayMeta m = std::move(queue.front().first);
+    const BlockPtr b = std::move(queue.front().second);
+    queue.pop_front();
+    if (queue.empty()) deferred_fetches_.erase(granted);
     start_fetch_locked(m, b);
   }
 }
 
 void StorageNode::promote_deferred_locked(const BlockPtr& block) {
-  for (auto it = deferred_fetches_.begin(); it != deferred_fetches_.end(); ++it) {
-    if (it->second == block) {
-      auto entry = std::move(*it);
-      deferred_fetches_.erase(it);
-      deferred_fetches_.push_front(std::move(entry));
+  auto it = deferred_fetches_.find(block->fetch_tenant);
+  if (it == deferred_fetches_.end()) return;
+  auto& queue = it->second;
+  for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+    if (qit->second == block) {
+      auto entry = std::move(*qit);
+      queue.erase(qit);
+      queue.push_front(std::move(entry));
       return;
     }
   }
+}
+
+void StorageNode::set_tenant(TenantId tenant, double weight, int priority) {
+  std::lock_guard lock(mutex_);
+  fair_.set_tenant(tenant, weight, priority);
+}
+
+void StorageNode::retire_tenant(TenantId tenant) {
+  std::lock_guard lock(mutex_);
+  fair_.retire(tenant);
+  // Anything the tenant still had parked stays queued and drains under the
+  // default weight; the arbiter's outstanding charges release as the
+  // fetches land.
+  drain_deferred_locked();
 }
 
 void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
@@ -559,7 +610,7 @@ void StorageNode::retry_fetch(const ArrayMeta& meta, const BlockPtr& block) {
   std::lock_guard lock(mutex_);
   if (block->state != BlockState::Loading || !block->fetch_inflight) return;
   if (block->fetch_deferred || block->budget_charged) return;  // already queued/flying
-  schedule_fetch(meta, block, /*demand=*/!block->read_waiters.empty());
+  schedule_fetch(meta, block, /*demand=*/!block->read_waiters.empty(), block->fetch_tenant);
 }
 
 void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
@@ -870,6 +921,11 @@ StorageStats StorageNode::stats() {
 std::uint64_t StorageNode::resident_bytes() {
   std::lock_guard lock(mutex_);
   return resident_bytes_;
+}
+
+std::uint64_t StorageNode::inflight_load_bytes(TenantId tenant) {
+  std::lock_guard lock(mutex_);
+  return fair_.inflight(tenant);
 }
 
 std::uint64_t StorageNode::inflight_load_bytes() {

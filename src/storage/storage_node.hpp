@@ -27,12 +27,15 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "common/fair_share.hpp"
 
 #include "common/buffer.hpp"
 #include "common/rng.hpp"
@@ -138,6 +141,7 @@ struct ReadWaiter {
   ReadCallback callback;
   std::uint64_t tag = 0;
   bool via_queue = false;
+  TenantId tenant = kDefaultTenant;  ///< job the read belongs to (obs/fair-share)
 };
 
 /// In-memory control block for one array block held by this node.
@@ -165,6 +169,11 @@ struct Block {
   /// This block's load is charged against the in-flight-bytes budget and
   /// the charge must be released exactly once.
   bool budget_charged = false;
+  /// Tenant the budget charge is billed to: the first requester to trigger
+  /// the fetch (ride-along readers of a shared block pay nothing).
+  TenantId fetch_tenant = kDefaultTenant;
+  /// When the fetch was parked in the deferred queue (aging/starvation).
+  std::uint64_t deferred_since_ns = 0;
   int fetch_attempts = 0;
 };
 
@@ -228,8 +237,9 @@ class StorageNode {
   /// Completion-queue flavour: the finished read lands in completions()
   /// carrying the caller's `tag`. Never delivered inline — resident blocks
   /// also round-trip through the queue, so the consumer drains one uniform
-  /// stream of completion events.
-  void read_async(const Interval& iv, std::uint64_t tag);
+  /// stream of completion events. `tenant` attributes the load to a job for
+  /// fair-share admission and trace/flow tagging.
+  void read_async(const Interval& iv, std::uint64_t tag, TenantId tenant = kDefaultTenant);
   /// Queue flavour of request_write. Write acquisition is synchronous, so
   /// the completion is in the queue before this returns.
   void write_async(const Interval& iv, std::uint64_t tag);
@@ -238,7 +248,7 @@ class StorageNode {
   [[nodiscard]] StorageCompletionQueue& completions() noexcept { return completions_; }
   /// Hint that the interval will be read soon; starts the load/fetch
   /// without pinning.
-  void prefetch(const Interval& iv);
+  void prefetch(const Interval& iv, TenantId tenant = kDefaultTenant);
   /// True when the interval's block is resident and sealed on this node.
   [[nodiscard]] bool is_resident(const Interval& iv);
   /// Residency bitmap of an array on this node (one bool per block).
@@ -247,11 +257,20 @@ class StorageNode {
   /// the array's home file (blocking). This is the paper's explicit write.
   void flush_array(const ArrayName& name);
 
+  // ---- Tenants (fair-share admission) -----------------------------------
+  /// Register / update a tenant's fair-share weight and priority. Called by
+  /// the jobs layer at submit; unknown tenants arbitrate at weight 1.0.
+  void set_tenant(TenantId tenant, double weight, int priority = 0);
+  /// Forget a tenant (job finished). Outstanding charges drain normally.
+  void retire_tenant(TenantId tenant);
+
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] StorageStats stats();
   [[nodiscard]] std::uint64_t resident_bytes();
   /// Bytes of block loads currently charged against max_inflight_load_bytes.
   [[nodiscard]] std::uint64_t inflight_load_bytes();
+  /// Same, but only the loads charged to one tenant.
+  [[nodiscard]] std::uint64_t inflight_load_bytes(TenantId tenant);
 
   // ---- Peer RPCs (public so peer nodes can call them) --------------------
   /// Return a copy of a sealed block: from memory if resident, streamed
@@ -290,8 +309,9 @@ class StorageNode {
   void deliver(detail::ReadWaiter&& w, ReadHandle handle, std::exception_ptr error);
 
   /// Admit the block's load against the in-flight-bytes budget: start it on
-  /// a fetcher thread or park it in the deferred queue. mutex_ held.
-  void schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand);
+  /// a fetcher thread or park it in the tenant's deferred queue (demand
+  /// reads jump that queue). mutex_ held.
+  void schedule_fetch(const ArrayMeta& meta, const BlockPtr& block, bool demand, TenantId tenant);
   /// Charge the budget and hand the block to a fetcher thread. mutex_ held.
   void start_fetch_locked(const ArrayMeta& meta, const BlockPtr& block);
   /// Release the block's budget charge (if any) and start deferred fetches
@@ -342,10 +362,15 @@ class StorageNode {
   SplitMix64 rng_;
   std::uint64_t lookup_rng_state_;
 
-  /// In-flight-bytes budget accounting (guarded by mutex_): bytes of loads
-  /// currently charged, plus loads parked until the budget has room.
+  /// In-flight-bytes budget accounting (guarded by mutex_): the fair-share
+  /// arbiter holds per-tenant charges; loads that do not fit park in their
+  /// tenant's deferred queue until pick() grants them. inflight_load_bytes_
+  /// mirrors the arbiter's total for cheap introspection.
+  FairShare fair_;
   std::uint64_t inflight_load_bytes_ = 0;
-  std::deque<std::pair<ArrayMeta, BlockPtr>> deferred_fetches_;
+  std::map<TenantId, std::deque<std::pair<ArrayMeta, BlockPtr>>> deferred_fetches_;
+  /// True when some tenant other than `t` has a deferred load parked.
+  [[nodiscard]] bool others_waiting_locked(TenantId t) const;
 
   StorageCompletionQueue completions_;
 

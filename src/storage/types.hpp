@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "common/fair_share.hpp"
+
 namespace dooc::fault {
 class FaultPlan;
 }  // namespace dooc::fault
@@ -77,6 +79,12 @@ struct StorageConfig {
   /// so an eager prefetch window cannot flood memory or the I/O filters.
   /// A single block larger than the budget is still allowed to fly alone.
   std::uint64_t max_inflight_load_bytes = 0;
+  /// Fair-share arbitration of max_inflight_load_bytes across tenants
+  /// (jobs): WDRR quantum, per-tenant share cap, aging override. The
+  /// budget_bytes field is ignored — max_inflight_load_bytes is the
+  /// budget. With a single tenant the arbitration degenerates to the
+  /// legacy FIFO deferral exactly.
+  FairShareConfig fair_share;
   /// Seed for the random-walk lookup and the Random eviction policy.
   std::uint64_t seed = 0x5eed;
   /// Shared fault-injection plan (cluster state — every node of a cluster

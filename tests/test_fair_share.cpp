@@ -1,0 +1,163 @@
+// dooc::FairShare — WDRR arbitration of the shared inflight-load budget:
+//   * single-tenant behaviour is bit-for-bit the legacy admission rule
+//     (admit unless something is in flight AND the load would overflow the
+//     budget; an oversized load flies alone);
+//   * WDRR deficits grant budget in proportion to tenant weights;
+//   * priority tiers are strict, with the aging override as the lower
+//     tiers' progress guarantee — exercised under a fake clock (callers
+//     pass now_ns, so no sleeping is involved);
+//   * the share cap only binds while another tenant is waiting;
+//   * retire() with charges still in flight drains through release().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fair_share.hpp"
+
+namespace dooc {
+namespace {
+
+FairShareConfig small_cfg() {
+  FairShareConfig cfg;
+  cfg.budget_bytes = 1000;
+  cfg.quantum_bytes = 100;
+  cfg.share_cap = 0.5;
+  cfg.starvation_ns = 1000;
+  return cfg;
+}
+
+TEST(FairShareTest, UnlimitedBudgetAdmitsEverything) {
+  FairShare fs;  // budget_bytes = 0
+  EXPECT_TRUE(fs.try_admit(kDefaultTenant, 1ull << 40, false));
+  fs.charge(kDefaultTenant, 1ull << 40);
+  EXPECT_TRUE(fs.try_admit(kDefaultTenant, 1ull << 40, true));
+  fs.release(kDefaultTenant, 1ull << 40);
+}
+
+TEST(FairShareTest, SingleTenantMatchesTheLegacyAdmissionRule) {
+  FairShare fs(small_cfg());
+  // Nothing in flight: even an oversized load flies alone.
+  EXPECT_TRUE(fs.try_admit(kDefaultTenant, 5000, false));
+  fs.charge(kDefaultTenant, 600);
+  EXPECT_FALSE(fs.try_admit(kDefaultTenant, 500, false)) << "600 + 500 overflows the budget";
+  EXPECT_TRUE(fs.try_admit(kDefaultTenant, 400, false));
+  fs.release(kDefaultTenant, 600);
+  EXPECT_TRUE(fs.try_admit(kDefaultTenant, 500, false));
+  EXPECT_EQ(fs.inflight_total(), 0u);
+}
+
+TEST(FairShareTest, WdrrGrantsTrackWeights) {
+  FairShareConfig cfg;
+  cfg.budget_bytes = 1ull << 30;  // never the binding constraint here
+  cfg.quantum_bytes = 100;        // << head size, so grants need many rounds
+  cfg.share_cap = 1.0;
+  cfg.starvation_ns = UINT64_MAX;  // aging disabled: pure WDRR
+  FairShare fs(cfg);
+  fs.set_tenant(1, 3.0);
+  fs.set_tenant(2, 1.0);
+
+  int grants[2] = {0, 0};
+  for (int i = 0; i < 400; ++i) {
+    const std::vector<FairShare::Head> heads = {{1, 1000, 0}, {2, 1000, 0}};
+    const TenantId t = fs.pick(heads, /*now_ns=*/0);
+    ASSERT_NE(t, FairShare::kNone);
+    ++grants[t - 1];
+    fs.charge(t, 1000);
+    fs.release(t, 1000);  // loads complete instantly: only deficits matter
+  }
+  // Weight 3 vs 1: tenant 1 should collect ~3/4 of the grants.
+  EXPECT_NEAR(static_cast<double>(grants[0]) / 400.0, 0.75, 0.05);
+  EXPECT_GT(grants[1], 0) << "the lighter tenant must still progress";
+}
+
+TEST(FairShareTest, PriorityTiersAreStrict) {
+  FairShareConfig cfg;
+  cfg.budget_bytes = 1ull << 30;
+  cfg.quantum_bytes = 1000;  // one round of credit covers a head
+  cfg.share_cap = 1.0;
+  cfg.starvation_ns = UINT64_MAX;
+  FairShare fs(cfg);
+  fs.set_tenant(1, 1.0, /*priority=*/0);
+  fs.set_tenant(2, 1.0, /*priority=*/5);
+
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<FairShare::Head> heads = {{1, 1000, 0}, {2, 1000, 0}};
+    const TenantId t = fs.pick(heads, 0);
+    EXPECT_EQ(t, 2u) << "the higher tier arbitrates first, every time";
+    fs.charge(t, 1000);
+    fs.release(t, 1000);
+  }
+  // With the high tier idle, the low tier is served.
+  const std::vector<FairShare::Head> low = {{1, 1000, 0}};
+  EXPECT_EQ(fs.pick(low, 0), 1u);
+}
+
+TEST(FairShareTest, AgingOverrideBeatsPriorityUnderAFakeClock) {
+  FairShareConfig cfg;
+  cfg.budget_bytes = 10000;
+  cfg.quantum_bytes = 1000;
+  cfg.share_cap = 1.0;
+  cfg.starvation_ns = 1000;
+  FairShare fs(cfg);
+  fs.set_tenant(1, 4.0, /*priority=*/9);
+  fs.set_tenant(2, 1.0, /*priority=*/0);
+
+  // Tenant 2's head has waited >= starvation_ns at now = 1100; tenant 1's
+  // has not. The override trumps tier and weight.
+  const std::vector<FairShare::Head> heads = {{1, 500, 900}, {2, 500, 0}};
+  EXPECT_EQ(fs.pick(heads, /*now_ns=*/1100), 2u);
+  EXPECT_EQ(fs.starvation_overrides(), 1u);
+  fs.charge(2, 500);
+  fs.release(2, 500);
+
+  // But even a starved head cannot jump a full budget.
+  fs.charge(1, 10000);
+  const std::vector<FairShare::Head> starved = {{2, 500, 0}};
+  EXPECT_EQ(fs.pick(starved, /*now_ns=*/5000), FairShare::kNone);
+  EXPECT_EQ(fs.starvation_overrides(), 1u) << "a refused override must not count";
+  fs.release(1, 10000);
+}
+
+TEST(FairShareTest, ShareCapOnlyBindsWhileContended) {
+  FairShare fs(small_cfg());  // budget 1000, cap 0.5 -> 500 bytes
+  fs.charge(1, 400);
+
+  // Uncontended: only the global budget applies.
+  EXPECT_TRUE(fs.try_admit(1, 200, /*others_waiting=*/false));
+  // Contended: 400 + 200 > 500 trips the starvation guard...
+  EXPECT_FALSE(fs.try_admit(1, 200, /*others_waiting=*/true));
+  EXPECT_TRUE(fs.try_admit(1, 50, /*others_waiting=*/true));
+  // ...but a tenant holding nothing always gets its first load.
+  EXPECT_TRUE(fs.try_admit(2, 200, /*others_waiting=*/true));
+
+  // pick() applies the same cap when more than one head competes.
+  const std::vector<FairShare::Head> heads = {{1, 200, 0}, {2, 200, 0}};
+  EXPECT_EQ(fs.pick(heads, 0), 2u) << "the hoarder waits, the empty-handed tenant starts";
+  fs.release(1, 400);
+}
+
+TEST(FairShareTest, RetireKeepsDrainingOutstandingCharges) {
+  FairShare fs(small_cfg());
+  fs.set_tenant(7, 2.0, 1);
+  fs.charge(7, 300);
+  fs.retire(7);
+  EXPECT_EQ(fs.inflight(7), 300u) << "retiring never forgets budget still in flight";
+  fs.release(7, 300);
+  EXPECT_EQ(fs.inflight(7), 0u);
+  EXPECT_EQ(fs.inflight_total(), 0u);
+  fs.retire(99);  // unknown tenant: a no-op
+}
+
+TEST(FairShareTest, PickHandlesEmptyAndBudgetFullQueues) {
+  FairShare fs(small_cfg());
+  EXPECT_EQ(fs.pick({}, 0), FairShare::kNone);
+  fs.charge(1, 1000);
+  const std::vector<FairShare::Head> heads = {{2, 500, 0}};
+  EXPECT_EQ(fs.pick(heads, 0), FairShare::kNone) << "no room: the head stays parked";
+  fs.release(1, 1000);
+  EXPECT_EQ(fs.pick(heads, 0), 2u);
+}
+
+}  // namespace
+}  // namespace dooc

@@ -9,7 +9,12 @@
 //
 // Usage:  dooc_tracecat trace.json [trace2.json ...] [--top=10] [--cat=task]
 //                       [--critical-path] [--blame] [--what-if=io:0]
-//                       [--metrics]
+//                       [--metrics] [--job=ID]
+//
+// --job=ID narrows a multi-tenant trace to one job before any analysis:
+// events tagged with a "job" arg keep only job ID's; untagged events
+// (storage io spans, counter samples) are ambient and stay — so overlap,
+// waits, critical path and blame come out per job.
 //
 // Several traces may be given at once — the per-process files a
 // dooc_launch cluster writes (node0.json node1.json ...). Each file gets
@@ -70,12 +75,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dooc_tracecat <trace.json> [more.json ...] [--top=10] [--cat=task]\n"
                  "                     [--critical-path] [--blame] [--what-if=CAT:FACTOR]\n"
-                 "                     [--metrics]\n");
+                 "                     [--metrics] [--job=ID]\n");
     return 2;
   }
   const std::vector<std::string>& paths = opts.positional();
   const auto top_n = static_cast<std::size_t>(opts.get_int("top", 10));
   const std::string cat = opts.get("cat", "task");
+  const bool job_filter = opts.contains("job");
+  const double job_id = static_cast<double>(opts.get_int("job", 0));
 
   obs::MetricsSnapshot merged;
   std::vector<obs::ParsedEvent> events;  // the last file's events (causal)
@@ -86,6 +93,12 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "dooc_tracecat: %s\n", e.what());
       return 1;
+    }
+    if (job_filter) {
+      std::erase_if(events, [&](const obs::ParsedEvent& ev) {
+        const auto it = ev.args.find("job");
+        return it != ev.args.end() && it->second != job_id;
+      });
     }
     merged.merge(snapshot_from_trace(events));
     if (!first) std::printf("\n");
