@@ -25,9 +25,22 @@ class DataBuffer {
  public:
   DataBuffer() = default;
 
-  /// Allocate an uninitialized buffer of `size` bytes.
-  explicit DataBuffer(std::size_t size)
-      : bytes_(std::make_shared<std::vector<std::byte>>(size)) {}
+  /// Allocate a zero-initialized buffer of `size` bytes.
+  explicit DataBuffer(std::size_t size) {
+    auto vec = std::make_shared<std::vector<std::byte>>(size);
+    size_ = size;
+    bytes_ = std::shared_ptr<std::byte>(vec, vec->data());
+  }
+
+  /// Adopt externally-owned memory (e.g. an aligned allocation from a
+  /// buffer pool whose deleter returns it to the pool). `mem` must cover at
+  /// least `size` bytes and stays alive as long as any aliasing handle.
+  static DataBuffer adopt(std::shared_ptr<std::byte> mem, std::size_t size) {
+    DataBuffer b;
+    b.bytes_ = std::move(mem);
+    b.size_ = size;
+    return b;
+  }
 
   /// Wrap a copy of the given extent.
   static DataBuffer copy_of(const void* data, std::size_t size) {
@@ -42,11 +55,11 @@ class DataBuffer {
     return copy_of(data(), size());
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return bytes_ ? bytes_->size() : 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
-  [[nodiscard]] std::byte* data() noexcept { return bytes_ ? bytes_->data() : nullptr; }
-  [[nodiscard]] const std::byte* data() const noexcept { return bytes_ ? bytes_->data() : nullptr; }
+  [[nodiscard]] std::byte* data() noexcept { return bytes_.get(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes_.get(); }
 
   [[nodiscard]] std::span<std::byte> span() noexcept { return {data(), size()}; }
   [[nodiscard]] std::span<const std::byte> span() const noexcept { return {data(), size()}; }
@@ -74,7 +87,8 @@ class DataBuffer {
   }
 
  private:
-  std::shared_ptr<std::vector<std::byte>> bytes_;
+  std::shared_ptr<std::byte> bytes_;  ///< aliasing pointer to the first byte
+  std::size_t size_ = 0;
 };
 
 }  // namespace dooc

@@ -1,9 +1,14 @@
 #include "net/block_store.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
+
+#include "net/wire.hpp"
 
 namespace dooc::net {
 
@@ -38,8 +43,20 @@ std::string BlockStore::durable_path(const std::string& dir, const std::string& 
 }
 
 void BlockStore::put(const std::string& name, DataBuffer bytes, bool durable) {
+  // Memory holds the raw payload; the durable file keeps the codec frame
+  // when one is available — arriving compressed from the coordinator or a
+  // peer, or encoded here when this node's codec is on. Compressed at rest
+  // and on the wire, decoded at most once per process.
+  DataBuffer durable_bytes = bytes;
+  if (spmv::codec::is_encoded(bytes.span())) {
+    bytes = spmv::codec::decode_block(bytes.span(), kMaxFramePayload);
+  } else if (durable && !durable_dir_.empty() && codec_.enabled()) {
+    if (auto frame = spmv::codec::encode_block(bytes.span(), codec_)) {
+      durable_bytes = std::move(*frame);
+    }
+  }
   if (durable && !durable_dir_.empty()) {
-    write_atomic(durable_path(durable_dir_, name), bytes);
+    write_atomic(durable_path(durable_dir_, name), durable_bytes);
   }
   std::lock_guard lock(mutex_);
   auto [it, inserted] = blocks_.insert_or_assign(name, std::move(bytes));
@@ -49,11 +66,14 @@ void BlockStore::put(const std::string& name, DataBuffer bytes, bool durable) {
   }
   if (durable && !durable_dir_.empty()) {
     counters_.durable_writes += 1;
-    counters_.durable_bytes += it->second.size();
+    counters_.durable_bytes += durable_bytes.size();
   }
 }
 
 void BlockStore::put_cached(const std::string& name, DataBuffer bytes) {
+  if (spmv::codec::is_encoded(bytes.span())) {
+    bytes = spmv::codec::decode_block(bytes.span(), kMaxFramePayload);
+  }
   std::lock_guard lock(mutex_);
   cached_.insert_or_assign(name, std::move(bytes));
 }
@@ -79,13 +99,31 @@ bool BlockStore::contains(const std::string& name) const {
 DataBuffer BlockStore::load_durable(const std::string& name) const {
   if (durable_dir_.empty()) throw IoError("no durable directory configured");
   const std::string path = durable_path(durable_dir_, name);
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw IoError("durable block file missing: '" + path + "'");
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  DataBuffer buf(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(buf.data()), size);
-  if (!in) throw IoError("short read from durable block file '" + path + "'");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw IoError("durable block file missing: '" + path + "'");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat durable block file '" + path + "'");
+  }
+  // Single copy: pread lands directly in a pooled aligned buffer (the old
+  // ifstream read staged every byte through the stream's internal buffer
+  // first). The bytes may be a codec frame; callers decode.
+  const auto size = static_cast<std::size_t>(st.st_size);
+  DataBuffer buf = pool_.acquire(size);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::pread(fd, buf.data() + got, size - got, static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw IoError("read error on durable block file '" + path + "'");
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (got != size) throw IoError("short read from durable block file '" + path + "'");
   return buf;
 }
 

@@ -81,6 +81,11 @@ void ClusterLauncher::spawn_all() {
         const std::string trace = config_.trace_dir + "/node" + std::to_string(node) + ".json";
         ::setenv("DOOC_TRACE", trace.c_str(), 1);
       }
+      // Per-daemon codec policy (empty = inherit the launcher's env; pass
+      // "off" to force raw daemons under a compressed coordinator).
+      if (!config_.codec_spec.empty()) {
+        ::setenv("DOOC_CODEC", config_.codec_spec.c_str(), 1);
+      }
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
       for (std::string& a : args) argv.push_back(a.data());

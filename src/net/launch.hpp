@@ -29,6 +29,12 @@ struct LaunchConfig {
   std::string doocd_path;
   /// Per-node trace output dir; empty disables tracing in the daemons.
   std::string trace_dir;
+  /// DOOC_CODEC spec exported to every daemon (e.g. "adaptive" or
+  /// "on,min_ratio=1.2"). Empty inherits the launcher's environment; the
+  /// launcher process itself keeps its own DOOC_CODEC either way, so a
+  /// mixed-configuration cluster (compressed daemons, raw coordinator) is
+  /// one flag away.
+  std::string codec_spec;
   int exec_threads = 1;
   std::string log_level = "warn";
 };

@@ -1,23 +1,12 @@
 #include "net/wire.hpp"
 
-#include <array>
 #include <cstring>
+
+#include "common/crc32.hpp"
 
 namespace dooc::net {
 
 namespace {
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
 
 template <typename T>
 void put_le(std::byte*& p, T value) noexcept {
@@ -53,13 +42,7 @@ const char* channel_name(Channel c) noexcept {
   return "unknown";
 }
 
-std::uint32_t crc32(std::span<const std::byte> bytes) noexcept {
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::byte b : bytes) {
-    crc = kCrcTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+std::uint32_t crc32(std::span<const std::byte> bytes) noexcept { return common::crc32(bytes); }
 
 void encode_header(const FrameHeader& h, std::byte out[kFrameHeaderBytes]) noexcept {
   std::byte* p = out;

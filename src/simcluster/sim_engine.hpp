@@ -55,6 +55,13 @@ struct SimResources {
   double task_overhead = 0.005;             ///< scheduling overhead per task, s
   double sync_cost = 0.5;                   ///< global synchronization cost, s
   double bw_noise = 0.10;                   ///< per-flow cap factor ~ U[1-noise, 1]
+  /// Codec model: decompression throughput in raw-output bytes/s. A durable
+  /// array with VirtualArray::stored_bytes != 0 moves its (smaller) stored
+  /// size over the filesystem, then waits bytes/decode_rate on the io side
+  /// (never a compute slot) before turning resident — trading CPU for
+  /// bandwidth exactly like the real storage layer's fetcher-thread decode.
+  /// 0 disables the latency charge (transfer still moves stored bytes).
+  double decode_rate = 2.0e9;
   /// Concurrent compute filters per node (the real nodes ran multiply and
   /// sum filters concurrently across their 8 cores).
   int compute_slots = 2;
@@ -179,6 +186,7 @@ class SimEngine : private sched::ResidencyProbe {
   /// Runtime state of one (virtual) array during a run.
   struct ArrayState {
     std::uint64_t bytes = 0;
+    std::uint64_t stored = 0;  ///< on-disk codec-frame size (0 = raw)
     int home = 0;
     bool durable = false;
     int readers_remaining = 0;
@@ -191,6 +199,9 @@ class SimEngine : private sched::ResidencyProbe {
   bool inputs_resident(int node, const sched::Task& task) override;
 
   [[nodiscard]] double task_duration(const sched::Task& task) const;
+  /// Modeled decompression latency for a stored-encoded array (0 when the
+  /// array is raw or decode_rate is 0).
+  [[nodiscard]] double decode_delay_s(const ArrayState& st) const;
   void schedule_node(NodeState& ns);
   void ensure_fetch(NodeState& ns, const std::string& array);
   void make_resident(int node, const std::string& array);

@@ -1,0 +1,89 @@
+#include "storage/buffer_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dooc::storage {
+
+struct BufferPool::State {
+  Config cfg;
+  std::mutex mu;
+  /// Free lists keyed by padded capacity; all entries are aligned blocks of
+  /// exactly that many bytes.
+  std::map<std::size_t, std::vector<void*>> free;
+  Stats stats;
+
+  ~State() {
+    for (auto& [cap, list] : free) {
+      for (void* p : list) std::free(p);
+    }
+  }
+};
+
+BufferPool::BufferPool() : BufferPool(Config{}) {}
+
+BufferPool::BufferPool(Config cfg) : state_(std::make_shared<State>()) {
+  DOOC_REQUIRE(cfg.alignment >= 512 && (cfg.alignment & (cfg.alignment - 1)) == 0,
+               "buffer pool alignment must be a power of two >= 512");
+  state_->cfg = cfg;
+}
+
+std::size_t BufferPool::padded_capacity(std::size_t size) const noexcept {
+  const std::size_t a = state_->cfg.alignment;
+  return (std::max<std::size_t>(size, 1) + a - 1) / a * a;
+}
+
+std::size_t BufferPool::alignment() const noexcept { return state_->cfg.alignment; }
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lock(state_->mu);
+  return state_->stats;
+}
+
+DataBuffer BufferPool::acquire(std::size_t size) {
+  const std::size_t capacity = padded_capacity(size);
+  std::shared_ptr<State> state = state_;
+  void* mem = nullptr;
+  {
+    std::lock_guard lock(state->mu);
+    auto it = state->free.find(capacity);
+    if (it != state->free.end() && !it->second.empty()) {
+      mem = it->second.back();
+      it->second.pop_back();
+      --state->stats.retained;
+      ++state->stats.reuses;
+    }
+  }
+  if (mem == nullptr) {
+    if (::posix_memalign(&mem, state->cfg.alignment, capacity) != 0) {
+      throw IoError("buffer pool: aligned allocation of " + std::to_string(capacity) +
+                    " bytes failed");
+    }
+    std::lock_guard lock(state->mu);
+    ++state->stats.allocations;
+  }
+  {
+    std::lock_guard lock(state->mu);
+    ++state->stats.outstanding;
+  }
+  auto deleter = [state, capacity](std::byte* p) {
+    std::lock_guard lock(state->mu);
+    --state->stats.outstanding;
+    auto& list = state->free[capacity];
+    if (list.size() < state->cfg.max_retained) {
+      list.push_back(p);
+      ++state->stats.retained;
+    } else {
+      std::free(p);
+    }
+  };
+  return DataBuffer::adopt(std::shared_ptr<std::byte>(static_cast<std::byte*>(mem), deleter),
+                           size);
+}
+
+}  // namespace dooc::storage

@@ -18,6 +18,8 @@ namespace {
 
 class ScopedFd {
  public:
+  /// Adopt an already-open descriptor.
+  explicit ScopedFd(int fd) noexcept : fd_(fd) {}
   ScopedFd(const std::string& path, int flags, mode_t mode = 0644)
       : fd_(::open(path.c_str(), flags, mode)) {
     if (fd_ < 0) {
@@ -31,9 +33,37 @@ class ScopedFd {
   ScopedFd& operator=(const ScopedFd&) = delete;
   [[nodiscard]] int get() const noexcept { return fd_; }
 
+  /// Drop O_DIRECT from an already-open descriptor (mid-read fallback when
+  /// the filesystem rejects a direct transfer with EINVAL).
+  void clear_direct() noexcept {
+#ifdef O_DIRECT
+    const int flags = ::fcntl(fd_, F_GETFL);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_DIRECT);
+#endif
+  }
+
  private:
   int fd_;
 };
+
+/// Open for reading, trying O_DIRECT first when requested. Returns whether
+/// the descriptor ended up direct; any O_DIRECT refusal (EINVAL on weird
+/// filesystems, ENOTSUP) silently degrades to a buffered descriptor.
+ScopedFd open_read(const std::string& path, bool want_direct, bool& is_direct) {
+  is_direct = false;
+#ifdef O_DIRECT
+  if (want_direct) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECT);
+    if (fd >= 0) {
+      is_direct = true;
+      return ScopedFd(fd);
+    }
+  }
+#else
+  (void)want_direct;
+#endif
+  return ScopedFd(path, O_RDONLY);
+}
 
 std::uint64_t now_nanos() {
   return static_cast<std::uint64_t>(
@@ -47,9 +77,10 @@ double now_seconds() { return static_cast<double>(now_nanos()) * 1e-9; }
 }  // namespace
 
 IoWorkerPool::IoWorkerPool(int num_workers, double throttle_read_bw, int node,
-                           std::shared_ptr<fault::FaultPlan> fault)
+                           std::shared_ptr<fault::FaultPlan> fault, bool direct_io)
     : throttle_read_bw_(throttle_read_bw),
       node_(node),
+      direct_io_(direct_io),
       fault_(std::move(fault)),
       read_latency_us_(&obs::Metrics::instance().histogram("io.read_latency_us", node)),
       write_latency_us_(&obs::Metrics::instance().histogram("io.write_latency_us", node)),
@@ -155,17 +186,36 @@ DataBuffer IoWorkerPool::read_attempt(Job& job, const fault::FaultDecision& verd
     span->arg("bytes", job.length);
   }
   const std::uint64_t t0 = now_nanos();
-  ScopedFd fd(job.path, O_RDONLY);
+  const std::uint64_t align = pool_.alignment();
+  // O_DIRECT needs an aligned file offset; the aligned buffer and padded
+  // length come from the pool. Unaligned offsets read buffered.
+  bool direct = false;
+  ScopedFd fd = open_read(job.path, direct_io_ && job.offset % align == 0, direct);
   // A short read truncates the transfer partway, as a flaky device would.
   const std::uint64_t want =
       verdict.action == Action::ShortRead ? job.length - (job.length + 1) / 2 : job.length;
-  DataBuffer buffer(job.length);
+  // Pooled buffer: aligned, padded to the alignment quantum, not zeroed —
+  // the pread is the only pass over these bytes.
+  DataBuffer buffer = pool_.acquire(job.length);
   std::uint64_t done = 0;
   while (done < want) {
-    const ssize_t n = ::pread(fd.get(), buffer.data() + done, want - done,
-                              static_cast<off_t>(job.offset + done));
+    // Direct transfers must be whole aligned units; the padded pool
+    // capacity makes the rounded-up count safe to land. At EOF the kernel
+    // returns the short tail like any other read.
+    const std::uint64_t ask = direct && verdict.action != Action::ShortRead
+                                  ? (want - done + align - 1) / align * align
+                                  : want - done;
+    const ssize_t n =
+        ::pread(fd.get(), buffer.data() + done, ask, static_cast<off_t>(job.offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (direct && errno == EINVAL) {
+        // The filesystem accepted O_DIRECT at open but refused the
+        // transfer geometry: degrade this descriptor to buffered.
+        fd.clear_direct();
+        direct = false;
+        continue;
+      }
       throw IoError("pread('" + job.path + "') failed: " + std::strerror(errno));
     }
     if (n == 0) {
@@ -173,6 +223,9 @@ DataBuffer IoWorkerPool::read_attempt(Job& job, const fault::FaultDecision& verd
     }
     done += static_cast<std::uint64_t>(n);
   }
+  // A direct read of the padded tail may overshoot `want` (never the
+  // padded capacity); the buffer's logical size stays job.length.
+  if (direct) direct_reads_.fetch_add(1, std::memory_order_relaxed);
   if (done < job.length) {
     throw IoError("injected short read on '" + job.path + "' (" + std::to_string(done) + "/" +
                   std::to_string(job.length) + " bytes)");

@@ -32,6 +32,9 @@ class StorageCluster {
   [[nodiscard]] const std::shared_ptr<fault::FaultPlan>& fault_plan() const noexcept {
     return fault_plan_;
   }
+  /// The cluster's resolved codec policy: the one from the base config,
+  /// else DOOC_CODEC, else off (decode of frames always works regardless).
+  [[nodiscard]] const spmv::codec::CodecConfig& codec() const noexcept { return codec_; }
 
   /// Register / retire a tenant (job) on every node's fair-share arbiter.
   void set_tenant(TenantId tenant, double weight, int priority = 0);
@@ -52,6 +55,7 @@ class StorageCluster {
   std::unique_ptr<DistributedCatalog> catalog_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::shared_ptr<fault::FaultPlan> fault_plan_;
+  spmv::codec::CodecConfig codec_;
   df::TransportStats* transport_ = nullptr;
 };
 

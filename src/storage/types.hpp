@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/fair_share.hpp"
+#include "spmv/codec.hpp"
 
 namespace dooc::fault {
 class FaultPlan;
@@ -92,6 +94,12 @@ struct StorageConfig {
   /// filters surface the first error, exactly the pre-fault behaviour.
   /// StorageCluster fills this from DOOC_FAULTS when left null.
   std::shared_ptr<fault::FaultPlan> fault_plan;
+  /// Block codec policy: per-block compression of matrix payloads on the
+  /// durable/wire path, O_DIRECT block reads, and read-ahead depth.
+  /// Programmatic config wins; nullopt resolves from DOOC_CODEC at node
+  /// construction (mirrors fault_plan). Decoding of codec frames is always
+  /// on regardless of mode, so mixed-configuration clusters interoperate.
+  std::optional<spmv::codec::CodecConfig> codec;
 };
 
 /// Monotonic counters kept by each storage node. All cheap relaxed atomics.
@@ -108,8 +116,11 @@ struct StorageStats {
   std::uint64_t read_requests = 0;
   std::uint64_t write_requests = 0;
   std::uint64_t prefetch_requests = 0;
+  std::uint64_t decoded_blocks = 0;    ///< codec frames decoded on the fetch path
+  std::uint64_t decoded_bytes = 0;     ///< raw bytes those decodes produced
   double disk_read_seconds = 0.0;      ///< time the I/O filters spent reading
   double disk_write_seconds = 0.0;
+  double decode_seconds = 0.0;         ///< fetcher-thread time spent decoding
 };
 
 }  // namespace dooc::storage

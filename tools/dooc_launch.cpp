@@ -4,16 +4,22 @@
 //   dooc_launch --nodes=4 [--transport=unix|tcp] [--base-port=7400]
 //               [--workdir=DIR] [--workload=spmv] [--n=2048] [--grid-k=4]
 //               [--iterations=3] [--exec-threads=1] [--verify]
+//               [--codec=SPEC] [--node-codec=SPEC]
 //               [--trace] [--kill-node=I --kill-after-tasks=T]
 //               [--metrics-out=FILE] [--log-level=LVL]
 //
 // --verify re-runs the same workload through the single-process engine and
 // compares result vectors bitwise. --kill-node SIGKILLs one daemon after T
 // completed tasks to exercise re-queue + durable-fallback failover.
+// --codec sets DOOC_CODEC for this whole process tree (coordinator deploy
+// encoding + every daemon); --node-codec overrides the daemons only, so
+// `--node-codec=adaptive --verify` is the mixed-configuration parity drill
+// (compressed daemons, raw coordinator, bitwise-identical results).
 // --metrics-out writes the merged per-node counters in Prometheus text
 // format. Traces land in <workdir>/traces/node<i>.json, one per real pid.
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -49,6 +55,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Whole-tree codec policy: the coordinator's own deploy encoding reads
+  // DOOC_CODEC, and the daemons inherit it unless --node-codec overrides.
+  if (const std::string codec = opts.get("codec"); !codec.empty()) {
+    ::setenv("DOOC_CODEC", codec.c_str(), 1);
+  }
+
   const std::string workdir =
       opts.get("workdir", "/tmp/dooc_launch." + std::to_string(::getpid()));
   const std::string durable_dir = workdir + "/durable";
@@ -66,6 +78,7 @@ int main(int argc, char** argv) {
     lcfg.durable_dir = durable_dir;
     lcfg.doocd_path = opts.get("doocd");
     lcfg.trace_dir = opts.get_bool("trace", false) ? trace_dir : "";
+    lcfg.codec_spec = opts.get("node-codec");
     lcfg.exec_threads = static_cast<int>(opts.get_int("exec-threads", 1));
     lcfg.log_level = opts.get("log-level", "warn");
 
