@@ -150,12 +150,15 @@ void decode_zigzag_u32(std::span<const std::byte> body, std::uint64_t& pos, std:
                        std::byte* dst, std::uint64_t raw_len) {
   if (raw_len % 4 != 0) throw CodecError("codec frame: zigzag-u32 section not 4-byte multiple");
   const std::uint64_t n = raw_len / 4;
-  std::int64_t prev = 0;
+  std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t gap = enc_end - pos >= 10 ? get_varint_fast(body.data(), pos)
                                                   : get_varint(body.first(enc_end), pos);
-    const std::int64_t cur = prev + unzigzag(gap);
-    if (cur < 0 || cur > static_cast<std::int64_t>(0xFFFFFFFFll)) {
+    // Wrapping unsigned add: a hostile delta near INT64_MAX/MIN must not hit
+    // signed-overflow UB, and any out-of-range true sum lands outside
+    // [0, 2^32) after the wrap, so the range check stays exact.
+    const std::uint64_t cur = prev + static_cast<std::uint64_t>(unzigzag(gap));
+    if (cur > 0xFFFFFFFFull) {
       throw CodecError("codec frame: zigzag-u32 value out of range");
     }
     const auto v = static_cast<std::uint32_t>(cur);
@@ -581,7 +584,9 @@ CodecEstimate estimate_block(std::span<const std::byte> raw) {
   std::uint64_t index_raw = 0;
   std::uint64_t value_raw = 0;
   double predicted_index = 0;
-  std::uint64_t width_hist[10] = {};
+  // Valid varint widths are 1..10 bytes (a u64 delta >= 2^63 takes 10);
+  // indexed directly by width, so slot 0 stays unused.
+  std::uint64_t width_hist[11] = {};
   std::uint64_t sampled = 0;
   for (const SectionPlan& s : plan) {
     if (s.is_value) value_raw += s.length;

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -199,12 +200,16 @@ DataBuffer IoWorkerPool::read_attempt(Job& job, const fault::FaultDecision& verd
   DataBuffer buffer = pool_.acquire(job.length);
   std::uint64_t done = 0;
   while (done < want) {
-    // Direct transfers must be whole aligned units; the padded pool
-    // capacity makes the rounded-up count safe to land. At EOF the kernel
-    // returns the short tail like any other read.
-    const std::uint64_t ask = direct && verdict.action != Action::ShortRead
-                                  ? (want - done + align - 1) / align * align
-                                  : want - done;
+    // Direct transfers must be whole aligned units; at EOF the kernel
+    // returns the short tail like any other read. The rounded-up count is
+    // capped at the pooled capacity: a device honoring a finer O_DIRECT
+    // granularity (e.g. 512) can leave `done` unaligned to the pool
+    // quantum, where the naive round-up would land past the buffer.
+    std::uint64_t ask = want - done;
+    if (direct && verdict.action != Action::ShortRead) {
+      ask = std::min<std::uint64_t>((want - done + align - 1) / align * align,
+                                    pool_.padded_capacity(job.length) - done);
+    }
     const ssize_t n =
         ::pread(fd.get(), buffer.data() + done, ask, static_cast<off_t>(job.offset + done));
     if (n < 0) {

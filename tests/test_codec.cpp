@@ -319,6 +319,47 @@ TEST(CodecHostile, ForgedSectionStreamsThrowTyped) {
   EXPECT_THROW((void)spmv::codec::decode_block(forge_frame(oversize, 8), 8), CodecError);
 }
 
+TEST(CodecHostile, HugeZigzagDeltaIsRejectedWithoutOverflow) {
+  // A zigzag-u32 section whose second delta unzigzags to INT64_MAX: added
+  // to a nonzero prefix this overflowed the signed accumulator before the
+  // range check (UB under UBSan). The wrapped unsigned sum must land
+  // outside [0, 2^32) and throw the typed range error instead.
+  std::vector<std::byte> body = {std::byte{0x08},   // raw_len = 8 (two u32s)
+                                 std::byte{0x02},   // encoding: zigzag-u32
+                                 std::byte{0x0B},   // enc_len = 11
+                                 std::byte{0x02}};  // zigzag(+1) -> prev = 1
+  body.insert(body.end(), {std::byte{0xFE}});  // varint(2^64 - 2): unzigzag = INT64_MAX
+  body.insert(body.end(), 8, std::byte{0xFF});
+  body.push_back(std::byte{0x01});
+  try {
+    (void)spmv::codec::decode_block(forge_frame(body, 8), 8);
+    FAIL() << "an out-of-range reconstructed u32 must throw";
+  } catch (const CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos) << e.what();
+  }
+
+  // The INT64_MIN twin (zigzag 2^64 - 1) from a zero prefix wraps high too.
+  std::vector<std::byte> negative = {std::byte{0x04},  // raw_len = 4 (one u32)
+                                     std::byte{0x02},  // encoding: zigzag-u32
+                                     std::byte{0x0A},  // enc_len = 10
+                                     std::byte{0xFF}};
+  negative.insert(negative.end(), 8, std::byte{0xFF});
+  negative.push_back(std::byte{0x01});
+  EXPECT_THROW((void)spmv::codec::decode_block(forge_frame(negative, 4), 4), CodecError);
+}
+
+TEST(CodecEstimate, HostileRowPtrValuesDoNotOverflowTheWidthHistogram) {
+  // CsrView::from_bytes validates sizes, not row_ptr values: a corrupt file
+  // can carry a row_ptr entry of 2^64 - 1, whose sampled delta needs the
+  // full 10-byte varint width. The estimator's width histogram must have a
+  // slot for it (it used to write one past the array on the stack).
+  const auto m = spmv::generate_power_law(64, 64, 4.0, 1.5, 5);
+  std::vector<std::byte> raw = serialize(m, false);
+  put_u64(raw, 5 * 8 + 8, 0xFFFFFFFFFFFFFFFFull);  // row_ptr[1]
+  const spmv::codec::CodecEstimate est = spmv::codec::estimate_block(raw);
+  EXPECT_GT(est.sampled_deltas, 0u) << "the corrupt pointer section must still be sampled";
+}
+
 TEST(CodecHostile, ProbeFrameValidatesTheWholeFile) {
   const std::vector<std::byte> frame = valid_frame();
   const std::span<const std::byte> head(frame.data(), spmv::codec::kCodecHeaderBytes);
