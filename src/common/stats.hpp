@@ -45,6 +45,26 @@ class RunningStats {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Rebuild from previously exported moments (telemetry frames, offline
+  /// trace reconstruction). The inverse of reading count/mean/m2/sum/min/max.
+  [[nodiscard]] static RunningStats from_parts(std::uint64_t n, double mean, double m2,
+                                               double sum, double min, double max) noexcept {
+    RunningStats s;
+    s.n_ = n;
+    if (n != 0) {
+      s.mean_ = mean;
+      s.m2_ = m2;
+      s.sum_ = sum;
+      s.min_ = min;
+      s.max_ = max;
+    }
+    return s;
+  }
+
+  /// Second central moment sum (the Welford accumulator) — exported so a
+  /// histogram can round-trip through a wire frame or a trace file.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -97,6 +117,17 @@ class Log2Histogram {
     for (int b = 0; b < kBuckets; ++b) {
       counts_[static_cast<std::size_t>(b)] += other.counts_[static_cast<std::size_t>(b)];
     }
+  }
+
+  /// Rebuild from exported stats + bucket counts (telemetry frames, offline
+  /// trace reconstruction). Buckets past `counts.size()` stay zero.
+  [[nodiscard]] static Log2Histogram from_parts(const RunningStats& stats,
+                                                const std::vector<std::uint64_t>& counts) noexcept {
+    Log2Histogram h;
+    h.stats_ = stats;
+    const std::size_t n = std::min<std::size_t>(counts.size(), kBuckets);
+    for (std::size_t b = 0; b < n; ++b) h.counts_[b] = counts[b];
+    return h;
   }
 
  private:

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/log.hpp"
+#include "obs/clock.hpp"
 #include "spmv/kernel_config.hpp"
 
 namespace dooc::net {
@@ -21,6 +22,12 @@ Coordinator::Coordinator(Transport& transport, CoordinatorConfig config)
     : transport_(transport), config_(config), store_(config.durable_dir) {
   if (config_.serial_nnz_threshold == 0) {
     config_.serial_nnz_threshold = spmv::KernelConfig{}.serial_nnz_threshold;
+  }
+  telemetry_ =
+      config_.telemetry ? *config_.telemetry : obs::telemetry::TelemetryConfig::from_env();
+  if (telemetry_.enabled) {
+    hub_ = std::make_unique<obs::telemetry::TelemetryHub>(telemetry_.history);
+    watchdog_ = std::make_unique<obs::telemetry::Watchdog>(telemetry_);
   }
 }
 
@@ -51,7 +58,11 @@ void Coordinator::refresh_alive() {
 }
 
 bool Coordinator::pump(RecvEvent& ev, int timeout_ms) {
-  if (!transport_.recv(ev, timeout_ms)) return false;
+  poll_watchdog();
+  if (!transport_.recv(ev, timeout_ms)) {
+    poll_watchdog();  // suspicion must advance during total silence too
+    return false;
+  }
   if (ev.kind == RecvEvent::Kind::PeerUp) {
     if (ev.peer >= 0 && ev.peer < config_.num_nodes && dead_.count(ev.peer) == 0) {
       alive_.insert(ev.peer);
@@ -60,8 +71,66 @@ bool Coordinator::pump(RecvEvent& ev, int timeout_ms) {
     DOOC_LOG(Warn, kWhere) << "node " << ev.peer << " down: " << ev.error;
     alive_.erase(ev.peer);
     dead_.insert(ev.peer);
+  } else if (ev.kind == RecvEvent::Kind::Frame && ev.channel == Channel::Telemetry) {
+    if (hub_) {
+      try {
+        hub_->add(obs::telemetry::TelemetryFrame::decode(ev.payload),
+                  obs::TraceClock::now_ns());
+      } catch (const Error& e) {
+        DOOC_LOG(Warn, kWhere) << "bad telemetry frame from node " << ev.peer << ": "
+                               << e.what();
+      }
+    }
+    // Returned as-is: every caller filters on the channel it waits for.
   }
   return true;
+}
+
+void Coordinator::poll_watchdog() {
+  if (!watchdog_) return;
+  const std::uint64_t now = obs::TraceClock::now_ns();
+  if (now < next_watchdog_ns_) return;
+  next_watchdog_ns_ = now + telemetry_.interval_ns();
+  std::vector<obs::telemetry::HealthEvent> events;
+  {
+    std::lock_guard lock(health_mutex_);
+    events = watchdog_->poll(*hub_, now);
+    for (const auto& hev : events) health_.push_back(hev);
+  }
+  for (const auto& hev : events) {
+    obs::telemetry::emit_health_event(hev);
+    if (hev.kind == obs::telemetry::HealthKind::Recovered) {
+      DOOC_LOG(Info, kWhere) << "health: " << hev.to_text();
+    } else {
+      DOOC_LOG(Warn, kWhere) << "health: " << hev.to_text();
+    }
+  }
+}
+
+std::vector<obs::telemetry::HealthEvent> Coordinator::health_events() const {
+  std::lock_guard lock(health_mutex_);
+  return health_;
+}
+
+std::set<NodeId> Coordinator::suspected_nodes() const {
+  std::lock_guard lock(health_mutex_);
+  if (!watchdog_) return {};
+  return watchdog_->suspected();
+}
+
+std::string Coordinator::telemetry_prometheus() const {
+  if (!hub_) return {};
+  obs::MetricsSnapshot agg = hub_->aggregate();
+  {
+    std::lock_guard lock(health_mutex_);
+    for (const auto& hev : health_) {
+      auto& e = agg.entries[obs::MetricsSnapshot::Key{
+          std::string("health.") + obs::telemetry::health_kind_name(hev.kind), hev.node}];
+      e.kind = obs::MetricKind::Counter;
+      e.count += 1;
+    }
+  }
+  return agg.to_prometheus();
 }
 
 NodeId Coordinator::assign_node(
@@ -234,6 +303,9 @@ RunResult Coordinator::run(const sched::TaskGraph& graph) {
   result.tasks_executed = done_count;
   result.makespan_s = std::chrono::duration<double>(Clock::now() - t0).count();
   result.dead_nodes.assign(dead_.begin(), dead_.end());
+  result.health_events = health_events();
+  const std::set<NodeId> suspects = suspected_nodes();
+  result.suspected_nodes.assign(suspects.begin(), suspects.end());
   return result;
 }
 

@@ -16,12 +16,16 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "net/block_store.hpp"
 #include "net/protocol.hpp"
 #include "net/transport.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/task.hpp"
 
 namespace dooc::net {
@@ -39,6 +43,14 @@ struct CoordinatorConfig {
   int report_timeout_ms = 10000;
   /// run() aborts when no event arrives for this long (hung cluster).
   int idle_timeout_ms = 60000;
+  /// Live telemetry policy. nullopt resolves from DOOC_TELEMETRY. When
+  /// enabled the coordinator keeps a rolling TelemetryHub of the workers'
+  /// frames and runs the health watchdog over it on every pump — missed
+  /// heartbeats become dead-node *suspicion* (surfaced via
+  /// suspected_nodes() and HealthEvents) well before a TCP timeout turns
+  /// into a PeerDown; scheduling itself stays driven by PeerDown so runs
+  /// remain deterministic.
+  std::optional<obs::telemetry::TelemetryConfig> telemetry;
 };
 
 struct RunResult {
@@ -50,6 +62,10 @@ struct RunResult {
   std::uint64_t requeued_after_death = 0;  ///< in-flight tasks re-queued on PeerDown
   double makespan_s = 0.0;
   std::vector<NodeId> dead_nodes;
+  /// Watchdog verdicts raised during the run (telemetry enabled only).
+  std::vector<obs::telemetry::HealthEvent> health_events;
+  /// Nodes with an active missed-heartbeat suspicion at run end.
+  std::vector<NodeId> suspected_nodes;
 };
 
 class Coordinator {
@@ -86,6 +102,20 @@ class Coordinator {
   [[nodiscard]] const std::set<NodeId>& dead_nodes() const noexcept { return dead_; }
   [[nodiscard]] NodeId home_of(const std::string& name) const;
 
+  /// The rolling per-node frame series (nullptr when telemetry is off).
+  [[nodiscard]] const obs::telemetry::TelemetryHub* telemetry_hub() const noexcept {
+    return hub_.get();
+  }
+  /// Watchdog verdicts so far (thread-safe copy; scrape endpoints read
+  /// this from their own thread).
+  [[nodiscard]] std::vector<obs::telemetry::HealthEvent> health_events() const;
+  /// Nodes currently under missed-heartbeat suspicion.
+  [[nodiscard]] std::set<NodeId> suspected_nodes() const;
+  /// Prometheus text of the hub aggregate plus per-kind health counters —
+  /// the coordinator-side scrape endpoint's provider. Empty when telemetry
+  /// is off.
+  [[nodiscard]] std::string telemetry_prometheus() const;
+
  private:
   struct ArrayInfo {
     NodeId home = 0;
@@ -95,6 +125,9 @@ class Coordinator {
   /// recv + peer bookkeeping (alive_/dead_ upkeep). Returns false on
   /// timeout.
   bool pump(RecvEvent& ev, int timeout_ms);
+  /// Time-gated watchdog evaluation; runs on every pump (including
+  /// timeouts) so suspicion advances even when the cluster is silent.
+  void poll_watchdog();
   void refresh_alive();
   [[nodiscard]] NodeId assign_node(const sched::Task& task,
                                    const std::map<NodeId, std::set<sched::TaskId>>& inflight) const;
@@ -106,6 +139,13 @@ class Coordinator {
   std::set<NodeId> alive_;
   std::set<NodeId> dead_;
   std::uint64_t next_tag_ = 1;
+
+  obs::telemetry::TelemetryConfig telemetry_;
+  std::unique_ptr<obs::telemetry::TelemetryHub> hub_;
+  std::unique_ptr<obs::telemetry::Watchdog> watchdog_;
+  std::uint64_t next_watchdog_ns_ = 0;
+  mutable std::mutex health_mutex_;  ///< guards health_ + watchdog_ state
+  std::vector<obs::telemetry::HealthEvent> health_;
 };
 
 }  // namespace dooc::net

@@ -68,6 +68,9 @@ void ClusterLauncher::spawn_all() {
         "--log-level=" + config_.log_level,
     };
     if (!config_.durable_dir.empty()) args.push_back("--durable-dir=" + config_.durable_dir);
+    if (config_.metrics_base_port > 0) {
+      args.push_back("--metrics-port=" + std::to_string(config_.metrics_base_port + node));
+    }
 
     const pid_t child = ::fork();
     if (child < 0) {
@@ -85,6 +88,10 @@ void ClusterLauncher::spawn_all() {
       // "off" to force raw daemons under a compressed coordinator).
       if (!config_.codec_spec.empty()) {
         ::setenv("DOOC_CODEC", config_.codec_spec.c_str(), 1);
+      }
+      // Per-daemon telemetry policy, same contract as DOOC_CODEC.
+      if (!config_.telemetry_spec.empty()) {
+        ::setenv("DOOC_TELEMETRY", config_.telemetry_spec.c_str(), 1);
       }
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
@@ -112,6 +119,20 @@ bool ClusterLauncher::kill_node(NodeId node) {
   ::waitpid(it->second, nullptr, 0);
   children_.erase(it);
   return true;
+}
+
+bool ClusterLauncher::stop_node(NodeId node) {
+  auto it = children_.find(node);
+  if (it == children_.end()) return false;
+  DOOC_LOG(Warn, kWhere) << "SIGSTOP node " << node << " (pid " << it->second << ")";
+  return ::kill(it->second, SIGSTOP) == 0;
+}
+
+bool ClusterLauncher::resume_node(NodeId node) {
+  auto it = children_.find(node);
+  if (it == children_.end()) return false;
+  DOOC_LOG(Info, kWhere) << "SIGCONT node " << node << " (pid " << it->second << ")";
+  return ::kill(it->second, SIGCONT) == 0;
 }
 
 void ClusterLauncher::terminate_all(int grace_ms) {

@@ -35,6 +35,12 @@ struct LaunchConfig {
   /// mixed-configuration cluster (compressed daemons, raw coordinator) is
   /// one flag away.
   std::string codec_spec;
+  /// DOOC_TELEMETRY spec exported to every daemon (e.g. "on,interval=100").
+  /// Empty inherits the launcher's environment.
+  std::string telemetry_spec;
+  /// When > 0, node n gets "--metrics-port=<base+n>": each daemon serves
+  /// its own Prometheus scrape endpoint alongside the coordinator's.
+  int metrics_base_port = 0;
   int exec_threads = 1;
   std::string log_level = "warn";
 };
@@ -57,6 +63,13 @@ class ClusterLauncher {
   /// SIGKILL one node (the fault drill). Returns false when the node is
   /// not running.
   bool kill_node(NodeId node);
+
+  /// SIGSTOP one node without reaping it (the straggler drill: the
+  /// process is frozen, its sockets stay open, so no PeerDown fires — only
+  /// the telemetry watchdog can notice). Returns false when not running.
+  bool stop_node(NodeId node);
+  /// SIGCONT a stop_node()ed node.
+  bool resume_node(NodeId node);
 
   /// SIGTERM everyone, wait up to `grace_ms`, SIGKILL the rest, reap all.
   void terminate_all(int grace_ms = 2000);

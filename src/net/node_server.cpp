@@ -34,6 +34,7 @@ NodeServer::NodeServer(std::unique_ptr<Transport> transport, NodeServerConfig co
       store_(config.durable_dir),
       pool_(static_cast<std::size_t>(std::max(1, config.exec_threads))) {
   store_.set_codec(config.codec ? *config.codec : spmv::codec::CodecConfig::from_env());
+  telemetry_ = config.telemetry ? *config.telemetry : obs::telemetry::TelemetryConfig::from_env();
   exec_thread_ = std::thread([this] { exec_loop(); });
 }
 
@@ -49,8 +50,10 @@ NodeServer::~NodeServer() {
 void NodeServer::run() {
   DOOC_LOG(Info, where_tag(config_.node))
       << "serving (pid " << ::getpid() << ", durable '" << config_.durable_dir << "')";
+  if (telemetry_.enabled) next_telemetry_ = Clock::now();
   RecvEvent ev;
   while (!stop_.load(std::memory_order_relaxed)) {
+    maybe_send_telemetry();
     if (!transport_->recv(ev, 100)) continue;
     switch (ev.kind) {
       case RecvEvent::Kind::PeerUp:
@@ -160,6 +163,44 @@ void NodeServer::handle_frame(const RecvEvent& ev) {
   }
 }
 
+obs::telemetry::TelemetryFrame NodeServer::telemetry_frame() {
+  obs::telemetry::TelemetryFrame f;
+  f.node = config_.node;
+  f.seq = telemetry_seq_;
+  f.ts_ns = obs::TraceClock::now_ns();
+  f.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(exec_mutex_);
+    f.queue_depth = exec_queue_.size();
+  }
+  f.tasks_inflight = f.queue_depth + tasks_running_.load(std::memory_order_relaxed);
+  f.faults = durable_fallbacks_.load(std::memory_order_relaxed);
+  f.trace_dropped = obs::TraceSession::instance().dropped();
+  // The full registry snapshot rides along: per-daemon it is naturally
+  // node-scoped (this process only ever registers its own node id), so the
+  // coordinator's aggregate keeps the per-node structure.
+  f.metrics = obs::Metrics::instance().snapshot();
+  const auto hit = f.metrics.entries.find(
+      obs::MetricsSnapshot::Key{"storage.cache_hit", config_.node});
+  if (hit != f.metrics.entries.end()) f.cache_hits = hit->second.count;
+  const auto miss = f.metrics.entries.find(
+      obs::MetricsSnapshot::Key{"storage.cache_miss", config_.node});
+  if (miss != f.metrics.entries.end()) f.cache_misses = miss->second.count;
+  return f;
+}
+
+void NodeServer::maybe_send_telemetry() {
+  if (!telemetry_.enabled) return;
+  const auto now = Clock::now();
+  if (now < next_telemetry_) return;
+  next_telemetry_ = now + std::chrono::milliseconds(telemetry_.interval_ms);
+  const obs::telemetry::TelemetryFrame f = telemetry_frame();
+  ++telemetry_seq_;
+  // Best-effort: a coordinator that is gone (or not yet connected) just
+  // drops the frame — telemetry must never wedge the serving loop.
+  (void)transport_->send(kCoordinatorId, Channel::Telemetry, f.seq, f.encode());
+}
+
 void NodeServer::exec_loop() {
   for (;;) {
     std::pair<std::uint64_t, ExecTaskMsg> item;
@@ -253,6 +294,7 @@ DataBuffer NodeServer::acquire_input(const TaskInput& in, std::uint64_t& fetched
 void NodeServer::exec_task(std::uint64_t task_id, const ExecTaskMsg& msg) {
   TaskDoneMsg done;
   const auto t0 = Clock::now();
+  tasks_running_.fetch_add(1, std::memory_order_relaxed);
   try {
     std::optional<obs::Span> span;
     if (obs::trace_enabled()) span.emplace("task", msg.name, config_.node);
@@ -304,7 +346,12 @@ void NodeServer::exec_task(std::uint64_t task_id, const ExecTaskMsg& msg) {
     done.error = e.what();
     DOOC_LOG(Error, where_tag(config_.node)) << "task '" << msg.name << "' failed: " << e.what();
   }
+  tasks_running_.fetch_sub(1, std::memory_order_relaxed);
   done.exec_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // Microseconds keep the log2 buckets fine-grained where task durations
+  // actually land; the telemetry watchdog's p99-vs-median straggler test
+  // reads this per-node distribution out of the frame snapshot.
+  obs::Metrics::instance().histogram("net.exec_us", config_.node).add(done.exec_seconds * 1e6);
   transport_->send(kCoordinatorId, Channel::TaskDone, task_id, done.encode());
 }
 

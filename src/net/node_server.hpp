@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -32,6 +33,7 @@
 #include "net/protocol.hpp"
 #include "net/socket_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dooc::net {
 
@@ -50,6 +52,10 @@ struct NodeServerConfig {
   /// how the launcher configures each daemon; decode of incoming frames
   /// always works regardless, so mixed-config clusters interoperate.
   std::optional<spmv::codec::CodecConfig> codec;
+  /// Live telemetry policy. nullopt resolves from DOOC_TELEMETRY (again
+  /// the launcher's hook). When enabled, the recv loop streams one
+  /// TelemetryFrame per interval to the coordinator.
+  std::optional<obs::telemetry::TelemetryConfig> telemetry;
 };
 
 class NodeServer {
@@ -78,6 +84,10 @@ class NodeServer {
 
   void handle_frame(const RecvEvent& ev);
   void handle_peer_down(const RecvEvent& ev);
+  /// Build this node's TelemetryFrame (runtime scalars + full registry
+  /// snapshot) — also what the frame the recv loop streams contains.
+  [[nodiscard]] obs::telemetry::TelemetryFrame telemetry_frame();
+  void maybe_send_telemetry();
   void exec_loop();
   void exec_task(std::uint64_t task_id, const ExecTaskMsg& msg);
   /// Resolve one input; throws Error when every source fails.
@@ -101,8 +111,13 @@ class NodeServer {
   std::map<std::uint64_t, std::shared_ptr<PendingFetch>> pending_fetches_;
   std::atomic<std::uint64_t> next_fetch_tag_{1};
 
+  obs::telemetry::TelemetryConfig telemetry_;
+  std::uint64_t telemetry_seq_ = 0;
+  std::chrono::steady_clock::time_point next_telemetry_{};
+
   // Report counters (recv loop + executor touch them; all atomics).
   std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_running_{0};
   std::atomic<std::uint64_t> fetches_served_{0};
   std::atomic<std::uint64_t> fetch_bytes_out_{0};
   std::atomic<std::uint64_t> fetches_issued_{0};

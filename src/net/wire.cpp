@@ -38,6 +38,7 @@ const char* channel_name(Channel c) noexcept {
     case Channel::ReportReq: return "report-req";
     case Channel::ReportRep: return "report-rep";
     case Channel::Shutdown: return "shutdown";
+    case Channel::Telemetry: return "telemetry";
   }
   return "unknown";
 }
@@ -79,7 +80,7 @@ FrameHeader decode_header(std::span<const std::byte> bytes, std::uint32_t max_pa
                      ", this node speaks " + std::to_string(kProtocolVersion));
   }
   if (h.channel < static_cast<std::uint16_t>(Channel::Hello) ||
-      h.channel > static_cast<std::uint16_t>(Channel::Shutdown)) {
+      h.channel > static_cast<std::uint16_t>(Channel::Telemetry)) {
     throw FrameError("frame header: unknown channel " + std::to_string(h.channel));
   }
   if (h.payload_len > max_payload) {

@@ -57,6 +57,7 @@ enum class Channel : std::uint16_t {
   ReportReq = 9, ///< coordinator -> node: send your NodeReport
   ReportRep = 10,
   Shutdown = 11, ///< coordinator -> node: drain and exit
+  Telemetry = 12, ///< node -> coordinator: periodic TelemetryFrame (tag = seq)
 };
 
 [[nodiscard]] const char* channel_name(Channel c) noexcept;

@@ -124,11 +124,62 @@ std::string MetricsSnapshot::to_prometheus() const {
 
 // ---- sampler ----------------------------------------------------------------
 
+namespace {
+
+/// One Instant record of the "metrics_hist" stream (see flush_once).
+void emit_hist_record(std::uint32_t name, int node, std::uint32_t a0, std::uint64_t v0,
+                      std::uint32_t a1, std::uint64_t v1, std::uint32_t a2, std::uint64_t v2) {
+  Event ev;
+  ev.phase = Phase::Instant;
+  ev.cat = intern("metrics_hist");
+  ev.name = name;
+  ev.pid = node;
+  ev.ts_ns = TraceClock::now_ns();
+  ev.nargs = 3;
+  ev.arg_name[0] = a0;
+  ev.arg_val[0] = v0;
+  ev.arg_name[1] = a1;
+  ev.arg_val[1] = v1;
+  ev.arg_name[2] = a2;
+  ev.arg_val[2] = v2;
+  TraceSession::instance().emit(ev);
+}
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
 void MetricsSampler::flush_once() {
   if (!trace_enabled()) return;
   const MetricsSnapshot snap = Metrics::instance().snapshot();
   for (const auto& [key, e] : snap.entries) {
-    if (e.kind == MetricKind::Histogram) continue;
+    if (e.kind == MetricKind::Histogram) {
+      // Histograms are not a single time series; export their cumulative
+      // state as Instant records (cat "metrics_hist") that a reader folds
+      // back into a Log2Histogram: one stats record for the counts and
+      // extrema, one for the moments, one per non-empty bucket. Latest
+      // record per field wins on reconstruction, so repeated flushes are
+      // idempotent.
+      const std::uint32_t name = intern(key.name);
+      const auto& st = e.hist.stats();
+      emit_hist_record(name, key.node, intern("count"), st.count(), intern("min_f64"),
+                       f64_bits(st.min()), intern("max_f64"), f64_bits(st.max()));
+      emit_hist_record(name, key.node, intern("sum_f64"), f64_bits(st.sum()),
+                       intern("mean_f64"), f64_bits(st.mean()), intern("m2_f64"),
+                       f64_bits(st.m2()));
+      for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+        const std::uint64_t c = e.hist.bucket(static_cast<std::size_t>(b));
+        if (c == 0) continue;
+        emit_hist_record(name, key.node, intern("bucket"), static_cast<std::uint64_t>(b),
+                         intern("bcount"), c, intern("n"), st.count());
+      }
+      continue;
+    }
     const double v = e.kind == MetricKind::Counter ? static_cast<double>(e.count) : e.value;
     emit_counter(intern("metrics"), intern(key.name), key.node,
                  v > 0.0 ? static_cast<std::uint64_t>(v) : 0);

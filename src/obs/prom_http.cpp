@@ -1,0 +1,200 @@
+#include "obs/prom_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dooc::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+sockaddr_in loopback_addr(int port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return sa;
+}
+
+/// Read until the blank line ending the request head, a cap, a timeout or
+/// EOF. We never look past the head — scrapes are bodyless GETs.
+bool read_request_head(int fd, int timeout_ms) {
+  std::string head;
+  char buf[512];
+  while (head.size() < kMaxRequestBytes) {
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos || head.find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+PromHttpServer::PromHttpServer(int port, Provider provider) : provider_(std::move(provider)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(std::string("metrics endpoint socket(): ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw IoError("metrics endpoint bind(127.0.0.1:" + std::to_string(port) + "): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+}
+
+PromHttpServer::~PromHttpServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void PromHttpServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 200);  // bounded wait so stop_ is noticed
+    if (r <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    if (read_request_head(client, 1000)) {
+      std::string body;
+      try {
+        body = provider_ ? provider_() : std::string{};
+      } catch (const std::exception& e) {
+        body = std::string("# provider error: ") + e.what() + "\n";
+      }
+      std::string resp = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n";
+      resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+      resp += "Connection: close\r\n\r\n";
+      resp += body;
+      send_all(client, resp);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(client);
+  }
+}
+
+std::string http_get(const std::string& host, int port, const std::string& path,
+                     int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(std::string("http_get socket(): ") + std::strerror(errno));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("http_get wants a dotted IPv4 host, got '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw IoError("http_get connect(" + host + ":" + std::to_string(port) + "): " + err);
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  send_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r <= 0) {
+      ::close(fd);
+      throw IoError("http_get: timed out reading from " + host + ":" + std::to_string(port));
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      throw IoError("http_get recv(): " + err);
+    }
+    if (n == 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t line_end = resp.find("\r\n");
+  if (line_end == std::string::npos || resp.compare(0, 5, "HTTP/") != 0) {
+    throw IoError("http_get: malformed response from " + host + ":" + std::to_string(port));
+  }
+  const std::string status_line = resp.substr(0, line_end);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    throw IoError("http_get: non-200 status '" + status_line + "'");
+  }
+  const std::size_t body_at = resp.find("\r\n\r\n");
+  if (body_at == std::string::npos) return {};
+  return resp.substr(body_at + 4);
+}
+
+std::vector<PromSample> parse_prometheus(const std::string& text) {
+  std::vector<PromSample> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    PromSample s;
+    // name, optional {label="..."} block, whitespace, value.
+    std::size_t name_end = line.find_first_of("{ \t");
+    if (name_end == std::string::npos) continue;
+    s.name = line.substr(0, name_end);
+    std::size_t value_at = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos) continue;
+      const std::string labels = line.substr(name_end + 1, close - name_end - 1);
+      const std::size_t node_at = labels.find("node=\"");
+      if (node_at != std::string::npos) {
+        s.node = std::atoi(labels.c_str() + node_at + 6);
+      }
+      value_at = close + 1;
+    }
+    const std::size_t digits = line.find_first_not_of(" \t", value_at);
+    if (digits == std::string::npos) continue;
+    char* parse_end = nullptr;
+    const double v = std::strtod(line.c_str() + digits, &parse_end);
+    if (parse_end == line.c_str() + digits) continue;
+    s.value = v;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dooc::obs

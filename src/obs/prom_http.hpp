@@ -1,0 +1,76 @@
+// Tiny Prometheus scrape endpoint for the telemetry layer.
+//
+// PromHttpServer is a deliberately small blocking HTTP/1.0 server: one
+// accept-loop thread, one request per connection, no keep-alive, no routing
+// beyond "every GET returns the provider's text". That is exactly the shape
+// a Prometheus scrape needs and keeps the obs layer free of any web
+// machinery. The provider callback runs per request, so the body is always
+// a fresh snapshot (registry, hub aggregate, ...).
+//
+// http_get / parse_prometheus are the matching client half, used by
+// dooc_top and the tests — again raw sockets and a line parser, no deps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dooc::obs {
+
+class PromHttpServer {
+ public:
+  /// Returns the text/plain body for one scrape (called per request, from
+  /// the server thread — must be thread-safe against the producers).
+  using Provider = std::function<std::string()>;
+
+  /// Bind + listen on 127.0.0.1:port and start the accept thread. Port 0
+  /// picks an ephemeral port — read it back with port(). Throws IoError if
+  /// the socket cannot be bound.
+  PromHttpServer(int port, Provider provider);
+  ~PromHttpServer();
+
+  PromHttpServer(const PromHttpServer&) = delete;
+  PromHttpServer& operator=(const PromHttpServer&) = delete;
+
+  /// The bound port (resolved after construction, also for port 0).
+  [[nodiscard]] int port() const noexcept { return port_; }
+  /// Requests served so far.
+  [[nodiscard]] std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+
+  Provider provider_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Blocking one-shot GET http://host:port/path, returning the response
+/// body. Minimal HTTP/1.0 client for scraping our own endpoint (dooc_top,
+/// tests). Throws IoError on connect/read failure or a non-200 status.
+std::string http_get(const std::string& host, int port, const std::string& path = "/metrics",
+                     int timeout_ms = 2000);
+
+/// One sample line of Prometheus text exposition: `name{node="3"} 42`.
+/// node is -1 when the sample carries no node label.
+struct PromSample {
+  std::string name;
+  int node = -1;
+  double value = 0.0;
+};
+
+/// Parse the subset of the Prometheus text format that to_prometheus()
+/// emits (and that dooc_top needs): `# ...` comments are skipped, samples
+/// keep their name, optional node="N" label and value. Unparseable lines
+/// are skipped, not fatal — scrapes should degrade, not crash a dashboard.
+std::vector<PromSample> parse_prometheus(const std::string& text);
+
+}  // namespace dooc::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "obs/ring.hpp"
 
 namespace dooc::obs {
@@ -188,7 +190,14 @@ void TraceSession::emit(const Event& ev) {
   // session drain by the same mutex), flush into the central buffer, retry.
   std::lock_guard lock(im.mutex);
   ring->drain(im.central);
-  if (!ring->try_push(ev)) ring->note_dropped();
+  if (!ring->try_push(ev)) {
+    ring->note_dropped();
+    // Mirror the loss into the metrics registry so a live scrape can alert
+    // on trace incompleteness mid-run (the end-of-run dooc_trace_stats
+    // metadata is too late for an operator).
+    static Counter& dropped = Metrics::instance().counter("obs.trace_dropped_events");
+    dropped.add();
+  }
 }
 
 namespace {
@@ -259,9 +268,22 @@ void append_event_json(std::string& out, const Event& ev) {
     for (std::uint8_t i = 0; i < ev.nargs; ++i) {
       if (i > 0) out += ',';
       out += '"';
-      json_escape(out, interned(ev.arg_name[i]));
-      std::snprintf(buf, sizeof(buf), "\":%llu",
-                    static_cast<unsigned long long>(ev.arg_val[i]));
+      // Arg values are u64 in the POD record. The "_f64" name suffix marks
+      // a double bit-cast into that slot: strip the suffix from the JSON
+      // key and print the float with full round-trip precision.
+      const std::string& arg_name = interned(ev.arg_name[i]);
+      const bool is_f64 =
+          arg_name.size() > 4 && arg_name.compare(arg_name.size() - 4, 4, "_f64") == 0;
+      if (is_f64) {
+        json_escape(out, arg_name.substr(0, arg_name.size() - 4));
+        double v;
+        std::memcpy(&v, &ev.arg_val[i], sizeof(v));
+        std::snprintf(buf, sizeof(buf), "\":%.17g", v);
+      } else {
+        json_escape(out, arg_name);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(ev.arg_val[i]));
+      }
       out += buf;
     }
     out += '}';

@@ -365,4 +365,65 @@ std::vector<ParsedEvent> slowest(const std::vector<ParsedEvent>& events, std::si
   return picked;
 }
 
+MetricsSnapshot snapshot_from_trace(const std::vector<ParsedEvent>& events) {
+  MetricsSnapshot snap;
+
+  // 'C' samples: latest ts wins per (name, node).
+  std::map<MetricsSnapshot::Key, double> gauge_ts;
+
+  // "metrics_hist" records are cumulative: latest ts wins per field and
+  // per bucket, then the fields fold back into a Log2Histogram.
+  struct HistRebuild {
+    std::map<std::string, std::pair<double, double>> fields;  ///< name -> (ts, value)
+    std::map<int, std::pair<double, double>> buckets;         ///< index -> (ts, count)
+  };
+  std::map<MetricsSnapshot::Key, HistRebuild> hists;
+
+  for (const auto& ev : events) {
+    if (ev.phase == 'C') {
+      const MetricsSnapshot::Key key{ev.name, ev.pid};
+      auto [it, fresh] = gauge_ts.try_emplace(key, ev.ts_us);
+      if (!fresh && ev.ts_us < it->second) continue;
+      it->second = ev.ts_us;
+      const auto v = ev.args.find("value");
+      auto& e = snap.entries[key];
+      e.kind = MetricKind::Gauge;
+      e.value = v != ev.args.end() ? v->second : 0.0;
+    } else if (ev.phase == 'i' && ev.cat == "metrics_hist") {
+      HistRebuild& h = hists[MetricsSnapshot::Key{ev.name, ev.pid}];
+      const auto bucket = ev.args.find("bucket");
+      const auto bcount = ev.args.find("bcount");
+      if (bucket != ev.args.end() && bcount != ev.args.end()) {
+        auto& slot = h.buckets[static_cast<int>(bucket->second)];
+        if (ev.ts_us >= slot.first) slot = {ev.ts_us, bcount->second};
+      } else {
+        for (const auto& [name, value] : ev.args) {
+          auto [it, fresh] = h.fields.try_emplace(name, ev.ts_us, value);
+          if (!fresh && ev.ts_us >= it->second.first) it->second = {ev.ts_us, value};
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, h] : hists) {
+    const auto field = [&](const char* name) {
+      const auto it = h.fields.find(name);
+      return it != h.fields.end() ? it->second.second : 0.0;
+    };
+    const auto n = static_cast<std::uint64_t>(field("count"));
+    const RunningStats stats = RunningStats::from_parts(n, field("mean"), field("m2"),
+                                                        field("sum"), field("min"), field("max"));
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(Log2Histogram::kBuckets), 0);
+    for (const auto& [b, slot] : h.buckets) {
+      if (b >= 0 && b < Log2Histogram::kBuckets) {
+        counts[static_cast<std::size_t>(b)] = static_cast<std::uint64_t>(slot.second);
+      }
+    }
+    auto& e = snap.entries[key];
+    e.kind = MetricKind::Histogram;
+    e.hist = Log2Histogram::from_parts(stats, counts);
+  }
+  return snap;
+}
+
 }  // namespace dooc::obs

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dooc::obs {
 
 /// One parsed trace event. Times in microseconds (Chrome's unit).
@@ -80,5 +82,16 @@ struct WaitAnalysis {
 
 WaitAnalysis analyze_waits(const std::vector<ParsedEvent>& events,
                            const std::string& name = "inputs-pending");
+
+/// Rebuild a MetricsSnapshot from one trace's metric samples:
+///  - Counter ('C') samples: the latest sample of each (name, node) series
+///    wins; offline we cannot tell a counter from a gauge, so these export
+///    as gauges.
+///  - "metrics_hist" Instant records (the cumulative histogram stream
+///    MetricsSampler::flush_once emits): the latest record per field and
+///    per bucket folds back into a Log2Histogram, so snapshots from
+///    different trace files merge by summing bucket counts — quantiles of
+///    the merge reflect the union of the populations.
+MetricsSnapshot snapshot_from_trace(const std::vector<ParsedEvent>& events);
 
 }  // namespace dooc::obs

@@ -10,6 +10,7 @@
 #include "fault/fault_plan.hpp"
 #include "obs/causal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace dooc::sched {
@@ -150,6 +151,8 @@ struct Engine::NodeState {
   obs::Counter* m_load_faults = nullptr;     ///< sched.load_faults
   obs::Counter* m_task_retries = nullptr;    ///< sched.task_retries
   obs::Counter* m_producer_reruns = nullptr; ///< sched.producer_reruns
+  obs::Counter* m_tasks_exec = nullptr;      ///< sched.tasks_executed
+  obs::Histogram* m_exec_us = nullptr;       ///< sched.exec_us (task body only)
 };
 
 /// ExecutorCore's view of this engine's storage residency.
@@ -195,6 +198,9 @@ Engine::Engine(storage::StorageCluster& cluster, EngineConfig config)
 }
 
 Engine::~Engine() {
+  // Stop the telemetry sampler first: its final sample still sees the
+  // registry (a leaked singleton), but must not observe a half-torn engine.
+  telemetry_.reset();
   shutdown_.store(true);
   wake_all();
   for (auto& w : workers_) w.join();
@@ -232,6 +238,8 @@ void Engine::ensure_started() {
     ns->m_load_faults = &metrics.counter("sched.load_faults", n);
     ns->m_task_retries = &metrics.counter("sched.task_retries", n);
     ns->m_producer_reruns = &metrics.counter("sched.producer_reruns", n);
+    ns->m_tasks_exec = &metrics.counter("sched.tasks_executed", n);
+    ns->m_exec_us = &metrics.histogram("sched.exec_us", n);
     node_states_.push_back(std::move(ns));
   }
   if (!config_.blocking_io) {
@@ -258,6 +266,13 @@ void Engine::ensure_started() {
         }
       });
     }
+  }
+  // Opt-in live telemetry for the in-process backend: one sampler thread
+  // snapshots the registry per node on the configured cadence and runs
+  // the health watchdog over its own hub.
+  if (const auto tcfg = obs::telemetry::TelemetryConfig::from_env(); tcfg.enabled) {
+    telemetry_ = std::make_unique<obs::telemetry::LocalTelemetry>(
+        tcfg, cluster_.num_nodes(), "engine");
   }
   started_ = true;
 }
@@ -807,7 +822,11 @@ void Engine::execute(NodeState& ns, int slot, JobRun& jr, TaskId t, Staged* stag
   if (task.work) {
     TaskContext ctx(&task, ns.node, split_pools_[static_cast<std::size_t>(ns.node)].get(),
                     &inputs, &outputs);
+    const std::uint64_t body_start = obs::TraceClock::now_ns();
     task.work(ctx);
+    if (ns.m_exec_us != nullptr) {
+      ns.m_exec_us->add(static_cast<double>(obs::TraceClock::now_ns() - body_start) * 1e-3);
+    }
   }
 
   // Release inputs first, then outputs (sealing makes results visible).
@@ -838,6 +857,10 @@ void Engine::execute(NodeState& ns, int slot, JobRun& jr, TaskId t, Staged* stag
 void Engine::complete(const JobPtr& jr, TaskId t) {
   if (jr->failed.load()) return;  // the job died while this task was running
   if (jr->m_tasks_done != nullptr) jr->m_tasks_done->add();
+  {
+    NodeState& owner = *node_states_[static_cast<std::size_t>(jr->assignment[t])];
+    if (owner.m_tasks_exec != nullptr) owner.m_tasks_exec->add();
+  }
   std::vector<std::pair<int, TaskId>> newly_assigned;
   jr->core->finish(t, newly_assigned);
   if (jr->core->all_settled()) {

@@ -46,6 +46,10 @@
 #include "sched/task.hpp"
 #include "storage/storage_cluster.hpp"
 
+namespace dooc::obs::telemetry {
+class LocalTelemetry;  // heavy include avoided; engine.cpp owns the definition
+}
+
 namespace dooc::sched {
 
 /// What a task body may touch while running.
@@ -276,6 +280,9 @@ class Engine {
 
   std::vector<std::unique_ptr<NodeState>> node_states_;
   std::vector<std::thread> workers_;
+  /// In-process telemetry sampler + watchdog, created in ensure_started()
+  /// when DOOC_TELEMETRY enables it; nullptr otherwise.
+  std::unique_ptr<obs::telemetry::LocalTelemetry> telemetry_;
   std::atomic<bool> shutdown_{false};
   bool started_ = false;  ///< guarded by start_mutex_
   std::mutex start_mutex_;

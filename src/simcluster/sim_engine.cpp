@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "obs/causal.hpp"
@@ -62,6 +63,7 @@ struct SimEngine::NodeState {
   std::map<std::string, std::uint64_t> lru_tick;  // resident arrays
   std::map<std::string, int> pins;
   std::uint64_t tick = 0;
+  std::uint64_t tasks_done = 0;  ///< completed tasks (telemetry frames)
 };
 
 SimEngine::~SimEngine() = default;
@@ -249,7 +251,12 @@ void SimEngine::schedule_node(NodeState& ns) {
   while (static_cast<int>(ns.running.size()) < res_.compute_slots) {
     const TaskId t = core_->take_runnable(ns.node);
     if (t == sched::kInvalidTask) break;
-    const double dur = task_duration(graph_->task(t));
+    double dur = task_duration(graph_->task(t));
+    // Injected straggler: this node's compute is uniformly slower.
+    if (const auto f = res_.node_compute_factor.find(ns.node);
+        f != res_.node_compute_factor.end()) {
+      dur *= f->second;
+    }
     ns.running.emplace_back(t, now_ + dur);
     if (obs::trace_enabled()) {
       // Slot index the task just took doubles as its compute-lane tid.
@@ -349,6 +356,7 @@ void SimEngine::finish_task(NodeState& ns, TaskId t) {
     }
   }
   metrics_.total_flops += task.est_flops;
+  ++ns.tasks_done;
 
   std::vector<std::pair<int, TaskId>> newly_assigned;
   core_->finish(t, newly_assigned);  // dependents enter the core's queues
@@ -439,12 +447,55 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
     nodes_.push_back(std::move(ns));
   }
 
+  // Virtual-time telemetry replay: the same Hub + Watchdog the coordinator
+  // runs, fed per-node frames on the configured cadence of *virtual*
+  // seconds. Telemetry charges no modeled cost, so makespans are identical
+  // with it on or off — only the verdicts (SimMetrics::health) appear.
+  const bool telemetry_on = res_.telemetry.enabled;
+  std::optional<obs::telemetry::TelemetryHub> hub;
+  std::optional<obs::telemetry::Watchdog> watchdog;
+  std::vector<std::uint64_t> telemetry_seq(static_cast<std::size_t>(num_nodes_), 0);
+  const double telemetry_interval_s = static_cast<double>(res_.telemetry.interval_ms) * 1e-3;
+  double next_telemetry_s = 0.0;
+  if (telemetry_on) {
+    hub.emplace(res_.telemetry.history);
+    watchdog.emplace(res_.telemetry);
+  }
+  const auto telemetry_tick = [&](double at_s) {
+    const auto vns = static_cast<std::uint64_t>(at_s * 1e9);
+    for (int n = 0; n < num_nodes_; ++n) {
+      if (const auto mute = res_.node_telemetry_mute_after.find(n);
+          mute != res_.node_telemetry_mute_after.end() && at_s > mute->second) {
+        continue;  // the SIGSTOP drill: heartbeats vanish, compute does not
+      }
+      auto& ns = *nodes_[static_cast<std::size_t>(n)];
+      obs::telemetry::TelemetryFrame f;
+      f.node = n;
+      f.seq = telemetry_seq[static_cast<std::size_t>(n)]++;
+      f.ts_ns = vns;
+      f.tasks_executed = ns.tasks_done;
+      f.tasks_inflight = ns.running.size() + static_cast<std::uint64_t>(core_->pending(n));
+      f.queue_depth = static_cast<std::uint64_t>(core_->backlog(n)) +
+                      static_cast<std::uint64_t>(core_->runnable(n));
+      f.inflight_bytes = ns.inflight_bytes;
+      hub->add(f, vns);
+      ++metrics_.telemetry_frames;
+    }
+    for (auto& e : watchdog->poll(*hub, vns)) metrics_.health.push_back(std::move(e));
+  };
+
   // Main event loop.
   const std::size_t total = graph.size();
   std::size_t guard = 0;
   const std::size_t guard_limit = 100 * total + 100000;
   while (!core_->all_settled()) {
     DOOC_CHECK(++guard < guard_limit, "simulation event-loop guard tripped");
+    // Due telemetry ticks fire before scheduling so frames snapshot the
+    // state as of the tick time, exactly like a daemon's cadence.
+    while (telemetry_on && next_telemetry_s <= now_ + 1e-12) {
+      telemetry_tick(next_telemetry_s);
+      next_telemetry_s += telemetry_interval_s;
+    }
     // Expired backoff gates are consumed (ensure_fetch may retry now);
     // live ones bound dt below so the clock jumps straight to the retry.
     for (auto it = blocked_until_.begin(); it != blocked_until_.end();) {
@@ -458,6 +509,7 @@ SimMetrics SimEngine::run(const sched::TaskGraph& graph, sched::LocalPolicy poli
     }
     for (const auto& [key, until] : blocked_until_) dt = std::min(dt, until - now_);
     for (const auto& [when, n, a] : arriving_) dt = std::min(dt, when - now_);
+    if (telemetry_on && std::isfinite(dt)) dt = std::min(dt, next_telemetry_s - now_);
     if (!std::isfinite(dt)) {
       // Nothing in flight: either we just enabled work (loop again) or the
       // graph is stuck.

@@ -28,6 +28,7 @@
 
 #include "common/fair_share.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/executor_core.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/policy.hpp"
@@ -75,6 +76,22 @@ struct SimResources {
   /// WDRR knobs for run_jobs (budget_bytes is overridden by
   /// inflight_load_budget; starvation_ns counts virtual nanoseconds).
   FairShareConfig fair_share;
+  /// Live-telemetry replay under virtual time (run() only): when
+  /// telemetry.enabled, every node emits one TelemetryFrame per
+  /// telemetry.interval_ms of *virtual* time into a hub, and the same
+  /// Watchdog the coordinator runs is polled at each tick — so watchdog
+  /// thresholds and straggler verdicts are deterministically testable
+  /// (SimMetrics::health). Disabled by default; virtual makespans are
+  /// unchanged either way (telemetry charges no modeled cost).
+  obs::telemetry::TelemetryConfig telemetry;
+  /// Straggler injection for run(): per-node multiplier on every task
+  /// duration (e.g. {2, 10.0} makes node 2 ten times slower). Empty for
+  /// the calibrated paper-scale benches.
+  std::map<int, double> node_compute_factor;
+  /// Missed-heartbeat drill for run(): the node stops emitting telemetry
+  /// frames after this many virtual seconds (the DES mirror of SIGSTOP —
+  /// the node keeps computing, only its heartbeats vanish).
+  std::map<int, double> node_telemetry_mute_after;
 };
 
 struct SimMetrics {
@@ -88,6 +105,9 @@ struct SimMetrics {
   std::uint64_t fetch_faults = 0;   ///< injected fetch failures (incl. the final ones)
   std::uint64_t fetch_retries = 0;  ///< fetches re-issued after virtual-time backoff
   std::uint64_t tasks_faulted = 0;  ///< tasks settled as Faulted (incl. poisoned successors)
+  /// Watchdog verdicts raised under virtual time (telemetry runs only).
+  std::vector<obs::telemetry::HealthEvent> health;
+  std::uint64_t telemetry_frames = 0;  ///< frames emitted into the virtual hub
 
   [[nodiscard]] double read_bandwidth() const {
     return gpfs_busy > 0 ? static_cast<double>(disk_bytes) / gpfs_busy : 0.0;

@@ -6,11 +6,24 @@
 //               [--iterations=3] [--exec-threads=1] [--verify]
 //               [--codec=SPEC] [--node-codec=SPEC]
 //               [--trace] [--kill-node=I --kill-after-tasks=T]
+//               [--stop-node=I --stop-after-tasks=T]
+//               [--telemetry=SPEC] [--metrics-port=P]
+//               [--node-metrics-base-port=P]
 //               [--metrics-out=FILE] [--log-level=LVL]
 //
 // --verify re-runs the same workload through the single-process engine and
 // compares result vectors bitwise. --kill-node SIGKILLs one daemon after T
 // completed tasks to exercise re-queue + durable-fallback failover.
+// --stop-node SIGSTOPs one instead (sockets stay open, no PeerDown): the
+// straggler drill — only the telemetry watchdog notices, raising a
+// missed-heartbeat HealthEvent; a watcher thread SIGCONTs the node as
+// soon as the coordinator suspects it (suspicion never reschedules, so a
+// frozen node's tasks wait for the thaw), and again before teardown.
+// --telemetry=SPEC (DOOC_TELEMETRY grammar, e.g. "on,interval=100") turns
+// on live telemetry for the coordinator and every daemon. --metrics-port
+// serves the coordinator's cluster-wide aggregate as Prometheus text on
+// 127.0.0.1; --node-metrics-base-port=P gives node n its own scrape
+// endpoint on port P+n.
 // --codec sets DOOC_CODEC for this whole process tree (coordinator deploy
 // encoding + every daemon); --node-codec overrides the daemons only, so
 // `--node-codec=adaptive --verify` is the mixed-configuration parity drill
@@ -21,7 +34,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <memory>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/options.hpp"
@@ -29,6 +46,8 @@
 #include "net/socket_transport.hpp"
 #include "net/spmv_job.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_http.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -79,8 +98,15 @@ int main(int argc, char** argv) {
     lcfg.doocd_path = opts.get("doocd");
     lcfg.trace_dir = opts.get_bool("trace", false) ? trace_dir : "";
     lcfg.codec_spec = opts.get("node-codec");
+    lcfg.telemetry_spec = opts.get("telemetry");
+    lcfg.metrics_base_port = static_cast<int>(opts.get_int("node-metrics-base-port", 0));
     lcfg.exec_threads = static_cast<int>(opts.get_int("exec-threads", 1));
     lcfg.log_level = opts.get("log-level", "warn");
+    // The coordinator follows the same telemetry policy as the daemons
+    // (CoordinatorConfig resolves from DOOC_TELEMETRY).
+    if (!lcfg.telemetry_spec.empty()) {
+      ::setenv("DOOC_TELEMETRY", lcfg.telemetry_spec.c_str(), 1);
+    }
 
     net::ClusterLauncher launcher(lcfg);
     launcher.spawn_all();
@@ -111,21 +137,65 @@ int main(int argc, char** argv) {
     job.deploy(coord);
     const auto driver = job.build_graph();
 
+    // Coordinator-side scrape endpoint: the hub's cluster-wide aggregate
+    // plus the watchdog's health counters.
+    std::unique_ptr<obs::PromHttpServer> scrape;
+    if (const int port = static_cast<int>(opts.get_int("metrics-port", 0)); port > 0) {
+      scrape = std::make_unique<obs::PromHttpServer>(
+          port, [&coord] { return coord.telemetry_prometheus(); });
+      std::printf("metrics on http://127.0.0.1:%d/metrics\n", scrape->port());
+    }
+
     const auto kill_node = static_cast<net::NodeId>(opts.get_int("kill-node", -1));
     const auto kill_after = static_cast<std::uint64_t>(opts.get_int("kill-after-tasks", 0));
+    const auto stop_node = static_cast<net::NodeId>(opts.get_int("stop-node", -1));
+    const auto stop_after = static_cast<std::uint64_t>(opts.get_int("stop-after-tasks", 0));
     bool killed = false;
-    if (kill_node >= 0) {
+    std::atomic<bool> stopped{false};
+    if (kill_node >= 0 || stop_node >= 0) {
       coord.progress_hook = [&](std::uint64_t done) {
-        if (!killed && done >= kill_after) {
+        if (kill_node >= 0 && !killed && done >= kill_after) {
           killed = true;
           std::printf("killing node %d (pid %d) after %" PRIu64 " tasks\n", kill_node,
                       static_cast<int>(launcher.pid(kill_node)), done);
           launcher.kill_node(kill_node);
         }
+        if (stop_node >= 0 && !stopped && done >= stop_after) {
+          stopped = true;
+          std::printf("freezing node %d (pid %d) after %" PRIu64 " tasks (SIGSTOP)\n",
+                      stop_node, static_cast<int>(launcher.pid(stop_node)), done);
+          launcher.stop_node(stop_node);
+        }
       };
     }
 
+    // The thaw watcher: suspicion never alters scheduling, so a frozen
+    // node's tasks simply wait — the drill completes by SIGCONTing the
+    // daemon the moment the coordinator's watchdog suspects it. The
+    // detection itself is the acceptance: it happens well before any TCP
+    // timeout would fire.
+    std::atomic<bool> run_done{false};
+    std::thread thaw;
+    if (stop_node >= 0) {
+      thaw = std::thread([&] {
+        while (!run_done.load()) {
+          if (stopped.load() && coord.suspected_nodes().count(stop_node) != 0) {
+            std::printf("coordinator suspects node %d — thawing it (SIGCONT)\n", stop_node);
+            launcher.resume_node(stop_node);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      });
+    }
+
     const net::RunResult run = coord.run(driver->graph());
+    run_done.store(true);
+    if (thaw.joinable()) thaw.join();
+    // Belt and braces: a SIGSTOPped daemon cannot process Shutdown and
+    // would be counted an abnormal exit (SIGCONT on a running pid is a
+    // no-op).
+    if (stopped.load()) launcher.resume_node(stop_node);
     if (!run.ok) {
       std::fprintf(stderr, "dooc_launch: run failed: %s\n", run.error.c_str());
       launcher.terminate_all();
@@ -135,6 +205,14 @@ int main(int argc, char** argv) {
                 " retries, %" PRIu64 " re-queued after death, %zu dead nodes)\n",
                 run.tasks_executed, run.tasks_total, run.makespan_s, run.retries,
                 run.requeued_after_death, run.dead_nodes.size());
+    for (const auto& ev : run.health_events) {
+      std::printf("health: %s\n", ev.to_text().c_str());
+    }
+    if (!run.suspected_nodes.empty()) {
+      std::printf("suspected at run end:");
+      for (const net::NodeId n : run.suspected_nodes) std::printf(" %d", n);
+      std::printf("\n");
+    }
 
     const std::vector<double> result = job.gather(coord);
     if (opts.get_bool("verify", false)) {

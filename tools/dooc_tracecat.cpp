@@ -48,21 +48,6 @@ bool parse_what_if(const std::string& spec, std::pair<std::string, double>& out)
   return true;
 }
 
-/// Rebuild a metrics snapshot from the trace's Counter ('C') samples: the
-/// last sample of each (name, node) series wins. Offline we cannot tell a
-/// counter from a gauge, so everything exports as a gauge.
-obs::MetricsSnapshot snapshot_from_trace(const std::vector<obs::ParsedEvent>& events) {
-  obs::MetricsSnapshot snap;
-  for (const auto& ev : events) {
-    if (ev.phase != 'C') continue;
-    const auto v = ev.args.find("value");
-    auto& e = snap.entries[obs::MetricsSnapshot::Key{ev.name, ev.pid}];
-    e.kind = obs::MetricKind::Gauge;
-    e.value = v != ev.args.end() ? v->second : 0.0;
-  }
-  return snap;
-}
-
 /// The single-trace report (phase table, overlap, waits, slowest events).
 void report_one(const std::string& path, const std::vector<obs::ParsedEvent>& events,
                 std::size_t top_n, const std::string& cat);
@@ -100,7 +85,7 @@ int main(int argc, char** argv) {
         return it != ev.args.end() && it->second != job_id;
       });
     }
-    merged.merge(snapshot_from_trace(events));
+    merged.merge(obs::snapshot_from_trace(events));
     if (!first) std::printf("\n");
     first = false;
     report_one(path, events, top_n, cat);

@@ -6,6 +6,11 @@
 //
 //   doocd --manifest=cluster.txt --node=2 [--durable-dir=DIR]
 //         [--exec-threads=N] [--log-level=trace|debug|info|warn|error]
+//         [--metrics-port=P]
+//
+// --metrics-port serves this daemon's metrics registry (plus the live
+// transport/executor scalars from report()) as Prometheus text on
+// http://127.0.0.1:P/metrics while the daemon runs.
 //
 // Tracing: set DOOC_TRACE=/path/node2.json in the environment (the
 // launcher does this per node); the trace is written on clean exit.
@@ -14,11 +19,13 @@
 // regardless, so nodes with different codec settings interoperate.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "net/node_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_http.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -69,8 +76,42 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
 
+    // Live scrape endpoint: the registry is node-scoped already; overlay
+    // the report() scalars that otherwise only reach the registry at exit
+    // so a mid-run scrape sees the executor/transport counters too.
+    std::unique_ptr<obs::PromHttpServer> scrape;
+    if (const int port = static_cast<int>(opts.get_int("metrics-port", 0)); port > 0) {
+      scrape = std::make_unique<obs::PromHttpServer>(port, [&server, node] {
+        obs::MetricsSnapshot snap = obs::Metrics::instance().snapshot();
+        const net::NodeReportMsg rep = server.report();
+        obs::MetricsSnapshot live;
+        const auto put = [&live, node](const char* name, std::uint64_t v) {
+          obs::MetricsSnapshot::Entry e;
+          e.kind = obs::MetricKind::Counter;
+          e.count = v;
+          live.entries[{name, node}] = e;
+        };
+        put("net.tasks_executed", rep.tasks_executed);
+        put("net.blocks_stored", rep.blocks_stored);
+        put("net.bytes_stored", rep.bytes_stored);
+        put("net.fetches_served", rep.fetches_served);
+        put("net.fetch_bytes_out", rep.fetch_bytes_out);
+        put("net.fetches_issued", rep.fetches_issued);
+        put("net.fetch_bytes_in", rep.fetch_bytes_in);
+        put("net.durable_fallbacks", rep.durable_fallbacks);
+        put("net.frames_sent", rep.frames_sent);
+        put("net.frames_received", rep.frames_received);
+        put("net.bytes_sent", rep.bytes_sent);
+        put("net.bytes_received", rep.bytes_received);
+        snap.merge(live);
+        return snap.to_prometheus();
+      });
+      DOOC_LOG(Info, "doocd") << "metrics on http://127.0.0.1:" << scrape->port() << "/metrics";
+    }
+
     server.run();
 
+    scrape.reset();
     g_server = nullptr;
     server.transport().close();
     // Final counter samples into the trace, so `dooc_tracecat --metrics`
