@@ -49,10 +49,19 @@ class BlockStore {
   void put(const std::string& name, DataBuffer bytes, bool durable);
 
   /// Cache a remotely-fetched block without counting it as stored here
-  /// (it already has a home; no durable write either).
+  /// (it already has a home; no durable write either). These cached copies
+  /// are what make every reader a replica holder: the FetchReq handler
+  /// serves them to other nodes exactly like home blocks.
   void put_cached(const std::string& name, DataBuffer bytes);
 
-  [[nodiscard]] bool get(const std::string& name, DataBuffer& out) const;
+  /// Invalidate a cached replica (write-once coherence: only called when a
+  /// block is being re-produced after a fault). No-op if not cached.
+  void drop_cached(const std::string& name);
+
+  /// `cached`, when non-null, reports whether the hit came from the
+  /// replica cache rather than a home block.
+  [[nodiscard]] bool get(const std::string& name, DataBuffer& out,
+                         bool* cached = nullptr) const;
   [[nodiscard]] bool contains(const std::string& name) const;
 
   /// Read a block's durable file (any node's — the dir is shared) with a

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "obs/clock.hpp"
 #include "spmv/kernel_config.hpp"
+#include "storage/replication.hpp"
 
 namespace dooc::net {
 
@@ -309,26 +310,46 @@ RunResult Coordinator::run(const sched::TaskGraph& graph) {
   return result;
 }
 
+std::optional<DataBuffer> Coordinator::fetch_from(NodeId peer, const std::string& name) {
+  const std::uint64_t tag = next_tag_++;
+  const FetchReqMsg req{name};
+  if (!transport_.send(peer, Channel::FetchReq, tag, req.encode())) return std::nullopt;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(config_.fetch_timeout_ms);
+  RecvEvent ev;
+  while (Clock::now() < deadline) {
+    if (!pump(ev, 100)) continue;
+    if (ev.kind == RecvEvent::Kind::PeerDown && ev.peer == peer) break;
+    if (ev.kind != RecvEvent::Kind::Frame || ev.tag != tag) continue;
+    if (ev.channel == Channel::FetchOk) return FetchOkMsg::decode(ev.payload).bytes;
+    if (ev.channel == Channel::FetchFail) break;
+  }
+  return std::nullopt;
+}
+
 DataBuffer Coordinator::fetch_block(const std::string& name) {
   auto it = arrays_.find(name);
   DOOC_REQUIRE(it != arrays_.end(), "fetch of unknown array '" + name + "'");
   const NodeId home = it->second.home;
   if (home >= 0 && alive_.count(home) != 0) {
-    const std::uint64_t tag = next_tag_++;
-    const FetchReqMsg req{name};
-    if (transport_.send(home, Channel::FetchReq, tag, req.encode())) {
-      const auto deadline = Clock::now() + std::chrono::milliseconds(config_.fetch_timeout_ms);
-      RecvEvent ev;
-      while (Clock::now() < deadline) {
-        if (!pump(ev, 100)) continue;
-        if (ev.kind == RecvEvent::Kind::PeerDown && ev.peer == home) break;
-        if (ev.kind != RecvEvent::Kind::Frame || ev.tag != tag) continue;
-        if (ev.channel == Channel::FetchOk) return FetchOkMsg::decode(ev.payload).bytes;
-        if (ev.channel == Channel::FetchFail) break;
-      }
+    if (auto bytes = fetch_from(home, name)) return std::move(*bytes);
+  }
+  // Home gone (or fetch failed): sweep the other live workers — a node
+  // that read the block keeps a cached replica (NodeServer caches every
+  // remote fetch) and its FetchReq handler serves from that cache. Order
+  // is rendezvous-ranked so repeated gathers spread across holders.
+  std::vector<int> peers;
+  peers.reserve(alive_.size());
+  for (const NodeId id : alive_) {
+    if (id != home) peers.push_back(id);
+  }
+  const storage::BlockKey key{name, 0};
+  for (const int peer : storage::replication::rank_holders(key, home, std::move(peers))) {
+    if (auto bytes = fetch_from(peer, name)) {
+      ++replica_fetches_;
+      return std::move(*bytes);
     }
   }
-  // Home gone (or fetch failed): the durable copy is the block of record.
+  // The durable copy is the block of record.
   return store_.load_durable(name);
 }
 

@@ -89,9 +89,13 @@ class Coordinator {
   /// harness kill a process mid-run at a deterministic point.
   std::function<void(std::uint64_t)> progress_hook;
 
-  /// Pull one array's bytes back to the caller: from its home node, or
-  /// from the durable directory when the home is dead/gone.
+  /// Pull one array's bytes back to the caller: from its home node, then
+  /// from any live peer's cached replica (hot blocks spread under
+  /// DOOC_REPLICATION), and from the durable directory as last resort.
   [[nodiscard]] DataBuffer fetch_block(const std::string& name);
+
+  /// Blocks served by a non-home peer's cached replica during gather.
+  [[nodiscard]] std::uint64_t replica_fetches() const noexcept { return replica_fetches_; }
 
   /// One ReportReq round over the live workers.
   [[nodiscard]] std::map<NodeId, NodeReportMsg> collect_reports();
@@ -125,6 +129,9 @@ class Coordinator {
   /// recv + peer bookkeeping (alive_/dead_ upkeep). Returns false on
   /// timeout.
   bool pump(RecvEvent& ev, int timeout_ms);
+  /// One FetchReq round-trip against a single peer. nullopt on timeout,
+  /// FetchFail, or peer death — callers fall through to the next source.
+  [[nodiscard]] std::optional<DataBuffer> fetch_from(NodeId peer, const std::string& name);
   /// Time-gated watchdog evaluation; runs on every pump (including
   /// timeouts) so suspicion advances even when the cluster is silent.
   void poll_watchdog();
@@ -139,6 +146,7 @@ class Coordinator {
   std::set<NodeId> alive_;
   std::set<NodeId> dead_;
   std::uint64_t next_tag_ = 1;
+  std::uint64_t replica_fetches_ = 0;
 
   obs::telemetry::TelemetryConfig telemetry_;
   std::unique_ptr<obs::telemetry::TelemetryHub> hub_;

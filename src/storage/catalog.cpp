@@ -20,6 +20,7 @@ void CatalogShard::register_array(ArrayMeta meta, bool all_durable, bool authori
 void CatalogShard::unregister_array(const ArrayName& name) {
   std::lock_guard lock(mutex_);
   arrays_.erase(name);
+  if (heat_ != nullptr) heat_->forget_array(name);
   // Abandon awaiters for this array: the block will never appear.
   for (auto it = awaiters_.begin(); it != awaiters_.end();) {
     if (it->first.array == name) {
@@ -100,6 +101,39 @@ void CatalogShard::reset_block(const BlockKey& key) {
   if (it == arrays_.end()) return;
   it->second.holders.erase(key.block);
   if (key.block < it->second.durable.size()) it->second.durable[key.block] = false;
+  // Lost-block recovery also resets the block's heat: the resurrected
+  // producer's output starts cold instead of inheriting pre-fault
+  // popularity (and stale heat must not promote a block nobody holds).
+  if (heat_ != nullptr) heat_->forget(key);
+}
+
+replication::AccessDecision CatalogShard::record_fetch(const BlockKey& key, int node,
+                                                       const ReplicationConfig& cfg) {
+  std::lock_guard lock(mutex_);
+  if (heat_ == nullptr) heat_ = std::make_unique<replication::HeatTracker>(cfg.decay);
+  replication::AccessDecision d;
+  const std::uint32_t before = heat_->peek(key);
+  d.heat = heat_->record(key);
+  d.hot = d.heat >= cfg.hot_threshold;
+  d.newly_hot = d.hot && before < cfg.hot_threshold;
+  auto it = arrays_.find(key.array);
+  if (it != arrays_.end()) {
+    const auto& entry = it->second;
+    const bool durable = key.block < entry.durable.size() && entry.durable[key.block];
+    if (durable) {
+      const auto h = entry.holders.find(key.block);
+      std::size_t listed = h != entry.holders.end() ? h->second.size() : 0;
+      // The fetcher re-registering itself is not a new replica.
+      if (h != entry.holders.end() && h->second.count(node) != 0) --listed;
+      d.replicate = listed < static_cast<std::size_t>(cfg.max_replicas);
+    }
+  }
+  return d;
+}
+
+std::uint32_t CatalogShard::heat_of(const BlockKey& key) const {
+  std::lock_guard lock(mutex_);
+  return heat_ != nullptr ? heat_->peek(key) : 0;
 }
 
 BlockInfo CatalogShard::block_info(const BlockKey& key) const {

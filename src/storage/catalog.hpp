@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "storage/replication.hpp"
 #include "storage/types.hpp"
 
 namespace dooc::storage {
@@ -82,6 +84,18 @@ class CatalogShard {
 
   [[nodiscard]] BlockInfo block_info(const BlockKey& key) const;
 
+  /// Record one fetch of the block by `node` in the authority's decayed
+  /// frequency counters and return the replication decision: the block's
+  /// heat, whether it is (newly) hot, and whether the fetcher should
+  /// register its copy as a replica or keep it transient (durable block
+  /// already at `cfg.max_replicas` listed holders). Only called by nodes
+  /// with replication enabled; the shard lazily creates its tracker from
+  /// `cfg.decay` (cluster-wide config, so every caller agrees).
+  replication::AccessDecision record_fetch(const BlockKey& key, int node,
+                                           const ReplicationConfig& cfg);
+  /// Current decayed heat of a block (introspection/tests).
+  [[nodiscard]] std::uint32_t heat_of(const BlockKey& key) const;
+
   /// Register interest in a block that no one has produced yet. The
   /// callback fires (once) as soon as a holder appears or the block turns
   /// durable. If the block is already obtainable the callback fires
@@ -100,6 +114,9 @@ class CatalogShard {
   mutable std::mutex mutex_;
   std::map<ArrayName, ArrayEntry> arrays_;
   std::map<BlockKey, std::vector<BlockCallback>> awaiters_;
+  /// Decayed access-frequency counters for replication (lazily created on
+  /// the first record_fetch; null while replication is off everywhere).
+  std::unique_ptr<replication::HeatTracker> heat_;
 };
 
 /// Routes catalog operations to the right shard and implements the two

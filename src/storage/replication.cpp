@@ -1,0 +1,136 @@
+#include "storage/replication.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dooc::storage::replication {
+
+std::uint32_t HeatTracker::decayed(const Entry& e, std::uint64_t now_epoch) {
+  const std::uint64_t elapsed = now_epoch - e.epoch;
+  if (elapsed >= 32) return 0;
+  return e.count >> elapsed;
+}
+
+std::uint32_t HeatTracker::record(const BlockKey& key) {
+  const std::uint64_t epoch = accesses_ / decay_;
+  ++accesses_;
+  Entry& e = entries_[key];
+  e.count = decayed(e, epoch);
+  e.epoch = epoch;
+  if (e.count < std::numeric_limits<std::uint32_t>::max()) ++e.count;
+  return e.count;
+}
+
+std::uint32_t HeatTracker::peek(const BlockKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  return decayed(it->second, accesses_ / decay_);
+}
+
+void HeatTracker::forget_array(const ArrayName& name) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.array == name) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dooc::storage::replication
+
+namespace dooc::storage {
+
+ReplicationConfig ReplicationConfig::parse(const std::string& spec) {
+  ReplicationConfig cfg;
+  if (spec.empty()) return cfg;
+  const auto parse_onoff = [](const std::string& v) -> std::optional<bool> {
+    if (v == "on" || v == "1" || v == "true") return true;
+    if (v == "off" || v == "0" || v == "false") return false;
+    return std::nullopt;
+  };
+  const auto parse_int = [](const std::string& key, const std::string& val, long lo, long hi) {
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(val.c_str(), &end, 10);
+    if (end == val.c_str() || *end != '\0' || errno == ERANGE || n < lo || n > hi) {
+      throw InvalidArgument("DOOC_REPLICATION: " + key + " wants an int in [" +
+                            std::to_string(lo) + "," + std::to_string(hi) + "], got '" + val +
+                            "'");
+    }
+    return n;
+  };
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string tok =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      const auto mode = parse_onoff(tok);
+      if (!first || !mode) {
+        throw InvalidArgument("DOOC_REPLICATION: unknown token '" + tok +
+                              "' (want on|off, hot_threshold=, max_replicas=, decay=)");
+      }
+      cfg.enabled = *mode;
+    } else {
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "mode") {
+        const auto mode = parse_onoff(val);
+        if (!mode) throw InvalidArgument("DOOC_REPLICATION: bad mode '" + val + "'");
+        cfg.enabled = *mode;
+      } else if (key == "hot_threshold") {
+        cfg.hot_threshold = static_cast<std::uint32_t>(parse_int(key, val, 1, 1 << 20));
+      } else if (key == "max_replicas") {
+        cfg.max_replicas = static_cast<int>(parse_int(key, val, 1, 4096));
+      } else if (key == "decay") {
+        cfg.decay = static_cast<std::uint32_t>(parse_int(key, val, 1, 1 << 30));
+      } else {
+        throw InvalidArgument("DOOC_REPLICATION: unknown key '" + key + "'");
+      }
+    }
+    first = false;
+  }
+  return cfg;
+}
+
+ReplicationConfig ReplicationConfig::from_env() {
+  const char* env = std::getenv("DOOC_REPLICATION");
+  return env != nullptr ? parse(env) : ReplicationConfig{};
+}
+
+}  // namespace dooc::storage
+
+namespace dooc::storage::replication {
+
+namespace {
+/// splitmix64 finalizer — full avalanche, so nearby ids decorrelate.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::vector<int> rank_holders(const BlockKey& key, int requester, std::vector<int> holders) {
+  const std::uint64_t base =
+      mix64(std::hash<std::string>()(key.array) ^ (key.block * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<std::uint64_t>(requester) * 0xc2b2ae3d27d4eb4full));
+  holders.erase(std::remove(holders.begin(), holders.end(), requester), holders.end());
+  std::sort(holders.begin(), holders.end(), [base](int a, int b) {
+    const std::uint64_t sa = mix64(base ^ static_cast<std::uint64_t>(a));
+    const std::uint64_t sb = mix64(base ^ static_cast<std::uint64_t>(b));
+    return sa != sb ? sa < sb : a < b;
+  });
+  return holders;
+}
+
+}  // namespace dooc::storage::replication

@@ -22,6 +22,10 @@ StorageCluster::StorageCluster(int num_nodes, const StorageConfig& base,
   // Same resolution for the codec policy: programmatic config, else
   // DOOC_CODEC, else off. Resolved once so every node agrees.
   codec_ = base.codec ? *base.codec : spmv::codec::CodecConfig::from_env();
+  // And for the replication policy: every node must agree on the heat
+  // thresholds, replica cap and decay, or the catalog's decisions would
+  // mean different things to different fetchers.
+  replication_ = base.replication ? *base.replication : ReplicationConfig::from_env();
 
   nodes_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
@@ -29,6 +33,7 @@ StorageCluster::StorageCluster(int num_nodes, const StorageConfig& base,
     cfg.seed = base.seed + static_cast<std::uint64_t>(i) * 1000003;
     cfg.fault_plan = fault_plan_;
     cfg.codec = codec_;
+    cfg.replication = replication_;
     nodes_.push_back(std::make_unique<StorageNode>(i, cfg, catalog_.get(), transport));
   }
   std::vector<StorageNode*> peers;
@@ -65,6 +70,10 @@ StorageStats StorageCluster::total_stats() {
     total.prefetch_requests += s.prefetch_requests;
     total.decoded_blocks += s.decoded_blocks;
     total.decoded_bytes += s.decoded_bytes;
+    total.replica_hits += s.replica_hits;
+    total.replica_misses += s.replica_misses;
+    total.replica_promotions += s.replica_promotions;
+    total.replica_bypass += s.replica_bypass;
     total.disk_read_seconds += s.disk_read_seconds;
     total.disk_write_seconds += s.disk_write_seconds;
     total.decode_seconds += s.decode_seconds;

@@ -35,6 +35,10 @@ class StorageCluster {
   /// The cluster's resolved codec policy: the one from the base config,
   /// else DOOC_CODEC, else off (decode of frames always works regardless).
   [[nodiscard]] const spmv::codec::CodecConfig& codec() const noexcept { return codec_; }
+  /// The cluster's resolved replication policy: the one from the base
+  /// config, else DOOC_REPLICATION, else off. Resolved once so the heat
+  /// thresholds, replica cap and decay agree on every node.
+  [[nodiscard]] const ReplicationConfig& replication() const noexcept { return replication_; }
 
   /// Register / retire a tenant (job) on every node's fair-share arbiter.
   void set_tenant(TenantId tenant, double weight, int priority = 0);
@@ -56,6 +60,7 @@ class StorageCluster {
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::shared_ptr<fault::FaultPlan> fault_plan_;
   spmv::codec::CodecConfig codec_;
+  ReplicationConfig replication_;
   df::TransportStats* transport_ = nullptr;
 };
 

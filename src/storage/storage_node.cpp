@@ -20,6 +20,13 @@ namespace {
 /// Sanity cap on the declared decoded size of codec frames discovered by a
 /// scratch-directory scan (nothing legitimate approaches this).
 constexpr std::uint64_t kScanDecodeCap = 1ull << 40;
+
+/// Values of the block_fetch span's "src" arg (docs/TRACE_SCHEMA.md):
+/// where the fetch was ultimately served from.
+constexpr std::uint64_t kFetchSrcHomeDisk = 0;  ///< durable file via home (local or RPC)
+constexpr std::uint64_t kFetchSrcReplica = 1;   ///< a peer's in-memory copy
+constexpr std::uint64_t kFetchSrcFailover = 2;  ///< durable file read around a dead home
+constexpr std::uint64_t kFetchSrcAwait = 3;     ///< parked on the producer
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -93,6 +100,8 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       catalog_(catalog),
       transport_(transport),
       codec_(config_.codec ? *config_.codec : spmv::codec::CodecConfig::from_env()),
+      replication_(config_.replication ? *config_.replication
+                                       : ReplicationConfig::from_env()),
       io_(config_.io_workers, config_.throttle_read_bw, node_id, config_.fault_plan,
           codec_.direct_io),
       fetchers_(static_cast<std::size_t>(config_.io_workers)),
@@ -107,9 +116,19 @@ StorageNode::StorageNode(int node_id, StorageConfig config, DistributedCatalog* 
       m_fetch_deferred_(&obs::Metrics::instance().counter("storage.fetch_deferred", node_id)),
       m_failover_(&obs::Metrics::instance().counter("storage.failover", node_id)),
       m_decoded_(&obs::Metrics::instance().counter("storage.blocks_decoded", node_id)),
+      m_replica_hit_(&obs::Metrics::instance().counter("storage.replica_hit", node_id)),
+      m_replica_miss_(&obs::Metrics::instance().counter("storage.replica_miss", node_id)),
+      m_replica_promote_(&obs::Metrics::instance().counter("storage.replica_promote", node_id)),
+      m_replica_bypass_(&obs::Metrics::instance().counter("storage.replica_bypass", node_id)),
       m_inflight_gauge_(&obs::Metrics::instance().gauge("storage.inflight_bytes", node_id)),
       decode_latency_us_(&obs::Metrics::instance().histogram("storage.decode_latency_us", node_id)) {
   DOOC_REQUIRE(!config_.scratch_root.empty(), "storage config needs a scratch root");
+  // Replication replaces the default LRU with the scan-resistant 2Q policy
+  // so hot replicas survive one-pass streaming workloads. An explicit
+  // non-default eviction choice is respected.
+  if (replication_.enabled && config_.eviction == EvictionPolicy::Lru) {
+    config_.eviction = EvictionPolicy::TwoQ;
+  }
   scratch_dir_ = config_.scratch_root + "/node" + std::to_string(node_id);
   fs::create_directories(scratch_dir_);
   FairShareConfig fair_cfg = config_.fair_share;
@@ -388,6 +407,13 @@ void StorageNode::enqueue_read(const Interval& iv, detail::ReadWaiter waiter) {
     BlockPtr block = it->second;
     ++block->read_pins;
     block->lru_tick = ++tick_;
+    // 2Q re-reference: a block read again after install graduates from the
+    // probationary to the protected segment (and sheds any at-cap
+    // transience — a copy that keeps getting hit has earned retention).
+    if (config_.eviction == EvictionPolicy::TwoQ && ++block->hits >= replication_.promote_hits) {
+      block->hot = true;
+      block->transient = false;
+    }
     const TenantId hit_tenant = waiter.tenant;
     lock.unlock();
     deliver(std::move(waiter), ReadHandle(this, std::move(block), iv), nullptr);
@@ -596,11 +622,41 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
   }
   try {
     const BlockKey key = block->key;
-    const BlockInfo info = catalog_->shard_for(key.array).block_info(key);
+    CatalogShard& shard = catalog_->shard_for(key.array);
+    const BlockInfo info = shard.block_info(key);
     const fault::FaultPlan* plan = config_.fault_plan.get();
 
+    // Replication: record this fetch in the authority's decayed frequency
+    // counters and learn whether the block is hot and whether our copy may
+    // register as another replica (durable blocks cap at max_replicas).
+    replication::AccessDecision decision;
+    if (replication_.enabled) {
+      decision = shard.record_fetch(key, id_, replication_);
+      if (decision.newly_hot) {
+        m_replica_promote_->add();
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.replica_promotions;
+        }
+        if (obs::trace_enabled()) {
+          obs::emit_instant(obs::intern("replication"), obs::intern("promote"), id_,
+                            static_cast<int>(key.block));
+        }
+      }
+    }
+    const bool hot = replication_.enabled && decision.hot;
+    const bool bypass = replication_.enabled && !decision.replicate;
+
     // 1) A peer holds a sealed in-memory copy — fetch it over the "wire".
-    for (int holder : info.holders) {
+    // This is the generalized PR 5 failover walk: with replication on the
+    // candidate holders are ranked by rendezvous hash over
+    // (block, holder, requester), so a hot block's readers spread across
+    // its replica set instead of all hammering the lowest-numbered holder.
+    std::vector<int> holders = info.holders;
+    if (replication_.enabled) {
+      holders = replication::rank_holders(key, id_, std::move(holders));
+    }
+    for (int holder : holders) {
       if (holder == id_) continue;
       if (plan != nullptr && plan->node_down(holder)) continue;  // unreachable
       StorageNode* peer = peers_[static_cast<std::size_t>(holder)];
@@ -611,11 +667,21 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
           std::lock_guard lock(stats_mutex_);
           ++stats_.remote_fetches;
           stats_.remote_fetch_bytes += got;
+          if (replication_.enabled) ++stats_.replica_hits;
         }
-        install_payload(meta, block, std::move(data), info.durable);
+        if (replication_.enabled) m_replica_hit_->add();
+        if (span) span->arg("src", kFetchSrcReplica);
+        install_payload(meta, block, std::move(data), info.durable, hot, bypass);
         return;
       }
       // Holder evicted concurrently; fall through to other options.
+    }
+    // A hot block that no in-memory holder could serve is a replica miss:
+    // the read falls through to the (throttled) durable tier.
+    if (hot && info.durable) {
+      m_replica_miss_->add();
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.replica_misses;
     }
 
     // 2) The block is durable at its home node. When the array is stored
@@ -625,9 +691,10 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
         meta.stored_bytes != 0 ? meta.stored_bytes : block->bytes;
     if (info.durable) {
       if (meta.home_node == id_) {
+        if (span) span->arg("src", kFetchSrcHomeDisk);
         DataBuffer data =
             io_.read(meta.path, key.block * meta.block_size, durable_bytes).get();
-        install_payload(meta, block, std::move(data), /*durable=*/true);
+        install_payload(meta, block, std::move(data), /*durable=*/true, hot, bypass);
       } else if (plan != nullptr && plan->node_down(meta.home_node)) {
         // Failover: the home node is down but its scratch file survives on
         // the shared filesystem (the paper's GPFS tier outlives any one
@@ -637,10 +704,12 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
         if (obs::trace_enabled()) {
           obs::emit_instant(obs::intern("fault"), obs::intern("failover"), id_, 0);
         }
+        if (span) span->arg("src", kFetchSrcFailover);
         DataBuffer data =
             io_.read(meta.path, key.block * meta.block_size, durable_bytes).get();
-        install_payload(meta, block, std::move(data), /*durable=*/true);
+        install_payload(meta, block, std::move(data), /*durable=*/true, hot, bypass);
       } else {
+        if (span) span->arg("src", kFetchSrcHomeDisk);
         StorageNode* home = peers_[static_cast<std::size_t>(meta.home_node)];
         std::uint64_t got = 0;
         DataBuffer data = home->fetch_block(key, id_, &got);
@@ -650,10 +719,11 @@ void StorageNode::fetch_job(const ArrayMeta& meta, const BlockPtr& block) {
           ++stats_.remote_fetches;
           stats_.remote_fetch_bytes += got;
         }
-        install_payload(meta, block, std::move(data), /*durable=*/true);
+        install_payload(meta, block, std::move(data), /*durable=*/true, hot, bypass);
       }
       return;
     }
+    if (span) span->arg("src", kFetchSrcAwait);
 
     // 3) Nobody has produced the block yet: wait for a holder to appear.
     // Release the in-flight budget while parked — waiting on a producer can
@@ -710,7 +780,7 @@ DataBuffer StorageNode::decode_payload(const BlockPtr& block, DataBuffer data) {
 }
 
 void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
-                                  bool durable) {
+                                  bool durable, bool hot, bool bypass) {
   // Transparent interop: the payload may be a codec frame (stored-encoded
   // array, or a peer streaming its durable frame). The in-memory cache only
   // ever holds raw bytes, so decode here — still on the fetcher thread,
@@ -732,6 +802,12 @@ void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, 
     block->fetch_inflight = false;
     block->load_seq = ++load_seq_;
     block->lru_tick = ++tick_;
+    // Catalog-hot blocks land directly in the 2Q protected segment; at-cap
+    // copies of durable blocks stay transient (unlisted, evicted first).
+    // Bypass only ever applies to durable blocks, so an unlisted copy can
+    // never be the last one in existence.
+    block->hot = hot;
+    block->transient = bypass && durable;
     resident_bytes_ += block->bytes;
     waiters = std::move(block->read_waiters);
     block->read_waiters.clear();
@@ -740,6 +816,18 @@ void StorageNode::install_payload(const ArrayMeta& meta, const BlockPtr& block, 
   for (auto& w : waiters) {
     const Interval iv = w.iv;
     deliver(std::move(w), ReadHandle(this, block, iv), nullptr);
+  }
+  if (bypass && durable) {
+    m_replica_bypass_->add();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.replica_bypass;
+    }
+    if (obs::trace_enabled()) {
+      obs::emit_instant(obs::intern("replication"), obs::intern("bypass"), id_,
+                        static_cast<int>(block->key.block));
+    }
+    return;  // transient copy: do not register as a replica holder
   }
   // Outside mutex_: note_holder may fire awaiter callbacks synchronously.
   catalog_->shard_for(meta.name).note_holder(block->key, id_);
@@ -952,6 +1040,11 @@ void StorageNode::reclaim_locked(std::uint64_t incoming) {
   // Gather reclaimable blocks: sealed, unpinned, re-obtainable from disk.
   // (The paper: "the storage reclaims blocks that are stored on the disk of
   // any node and which are not currently used, according to LRU".)
+  // 2Q victim classes: transient at-cap copies go first, then the
+  // probationary segment (never re-referenced, not hot), and the protected
+  // segment only yields when nothing else is reclaimable. LRU within each
+  // class. This is what keeps hot replicas resident through one-pass scans.
+  const auto twoq_class = [](const Block& b) { return b.transient ? 0 : b.hot ? 2 : 1; };
   while (resident_bytes_ + incoming > config_.memory_budget) {
     BlockPtr victim;
     for (auto& [key, block] : blocks_) {
@@ -973,6 +1066,12 @@ void StorageNode::reclaim_locked(std::uint64_t incoming) {
         case EvictionPolicy::Random:
           if (rng_.next_below(2) == 0) victim = block;
           break;
+        case EvictionPolicy::TwoQ: {
+          const int bc = twoq_class(*block);
+          const int vc = twoq_class(*victim);
+          if (bc < vc || (bc == vc && block->lru_tick < victim->lru_tick)) victim = block;
+          break;
+        }
       }
     }
     if (!victim) {

@@ -157,6 +157,14 @@ struct Block {
   int write_pins = 0;
   std::uint64_t lru_tick = 0;  ///< last-use stamp for LRU
   std::uint64_t load_seq = 0;  ///< arrival stamp for FIFO
+  /// Cache hits since install (2Q re-reference counter).
+  std::uint32_t hits = 0;
+  /// Protected segment of the 2Q policy: re-referenced locally or hot at
+  /// the authority. Evicted only when no probationary victim exists.
+  bool hot = false;
+  /// At-cap replica bypass: this copy of a durable block is unlisted in
+  /// the catalog (never note_holder'd) and is the first eviction victim.
+  bool transient = false;
   /// Write intervals recorded for overlap (double-write) detection,
   /// as (offset-within-block, length) pairs.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> written;
@@ -209,6 +217,9 @@ class StorageNode {
   [[nodiscard]] const std::string& scratch_dir() const noexcept { return scratch_dir_; }
   /// Resolved codec policy (config_.codec, else DOOC_CODEC, else off).
   [[nodiscard]] const spmv::codec::CodecConfig& codec() const noexcept { return codec_; }
+  /// Resolved replication policy (config_.replication, else
+  /// DOOC_REPLICATION, else off).
+  [[nodiscard]] const ReplicationConfig& replication() const noexcept { return replication_; }
   /// The node's I/O filter pool (buffer-pool / direct-read introspection).
   [[nodiscard]] IoWorkerPool& io() noexcept { return io_; }
 
@@ -336,8 +347,11 @@ class StorageNode {
   /// Re-run the fetch decision after an awaited producer sealed the block.
   void retry_fetch(const ArrayMeta& meta, const BlockPtr& block);
   /// Install freshly obtained payload, seal, wake waiters, register holder.
+  /// `hot` lands the block in the 2Q protected segment; `bypass` keeps the
+  /// copy transient — unlisted in the catalog, first in line for eviction
+  /// (a durable block already at its replica cap).
   void install_payload(const ArrayMeta& meta, const BlockPtr& block, DataBuffer data,
-                       bool durable);
+                       bool durable, bool hot = false, bool bypass = false);
   /// Decode a codec frame into the block's raw bytes. Fetcher thread only —
   /// decompression never runs on compute workers. Pass-through when `data`
   /// is not a frame. Throws CodecError (an IoError) on a corrupt frame, so
@@ -368,6 +382,8 @@ class StorageNode {
   df::TransportStats* transport_;
   /// Resolved before io_ so the pool can honour codec_.direct_io.
   spmv::codec::CodecConfig codec_;
+  /// Resolved hot-block replication policy (see types.hpp).
+  ReplicationConfig replication_;
   std::vector<StorageNode*> peers_;
   IoWorkerPool io_;
   ThreadPool fetchers_;
@@ -408,6 +424,10 @@ class StorageNode {
   obs::Counter* m_fetch_deferred_;
   obs::Counter* m_failover_;
   obs::Counter* m_decoded_;
+  obs::Counter* m_replica_hit_;
+  obs::Counter* m_replica_miss_;
+  obs::Counter* m_replica_promote_;
+  obs::Counter* m_replica_bypass_;
   obs::Gauge* m_inflight_gauge_;
   obs::Histogram* decode_latency_us_;
 };

@@ -55,9 +55,40 @@ enum class LookupProtocol {
 };
 
 /// Which reclaimable resident block to evict first when the memory budget
-/// is exceeded. The paper uses LRU; the alternatives exist for the
-/// eviction-policy ablation bench.
-enum class EvictionPolicy { Lru, Fifo, Random };
+/// is exceeded. The paper uses LRU; Fifo/Random exist for the
+/// eviction-policy ablation bench. TwoQ is the frequency-aware policy the
+/// replication layer runs: blocks start probationary and are evicted
+/// LRU-first; re-referenced or catalog-hot blocks sit in a protected
+/// segment that only yields a victim when no probationary block is left —
+/// so a one-pass scan cannot thrash the hot set.
+enum class EvictionPolicy { Lru, Fifo, Random, TwoQ };
+
+/// Policy knobs for hot-block dynamic replication (see
+/// storage/replication.hpp for the mechanism: decayed frequency counters
+/// at the authority shard, rendezvous replica selection, 2Q retention).
+struct ReplicationConfig {
+  bool enabled = false;
+  /// Decayed accesses at the authority before a block counts as hot.
+  std::uint32_t hot_threshold = 4;
+  /// Cap on catalog-listed in-memory copies of a *durable* block. Fetches
+  /// past the cap install transient (evict-first, unlisted). Soft under
+  /// concurrency: racing fetchers may briefly overshoot by one.
+  int max_replicas = 3;
+  /// Heat half-life in recorded accesses (see replication::HeatTracker).
+  std::uint32_t decay = 64;
+  /// Local 2Q promotion point: cache hits after install before a block
+  /// moves from the probationary to the protected segment. Not part of the
+  /// env grammar — a policy constant, overridable programmatically.
+  std::uint32_t promote_hits = 1;
+
+  /// `DOOC_REPLICATION=on,hot_threshold=4,max_replicas=3,decay=64`.
+  /// A bare leading `on`/`off` token sets `enabled`; everything else is
+  /// `key=value`. Throws InvalidArgument on unknown keys or out-of-range
+  /// values (hostile input must fail loudly, not half-configure).
+  static ReplicationConfig parse(const std::string& spec);
+  /// Parse $DOOC_REPLICATION, or all-defaults (off) when unset.
+  static ReplicationConfig from_env();
+};
 
 struct StorageConfig {
   /// Root scratch directory; each node uses `<scratch_root>/node<i>/`.
@@ -100,6 +131,12 @@ struct StorageConfig {
   /// construction (mirrors fault_plan). Decoding of codec frames is always
   /// on regardless of mode, so mixed-configuration clusters interoperate.
   std::optional<spmv::codec::CodecConfig> codec;
+  /// Hot-block dynamic replication policy. Programmatic config wins;
+  /// nullopt resolves from DOOC_REPLICATION (mirrors fault_plan/codec —
+  /// StorageCluster resolves once so every node agrees). When replication
+  /// is enabled and `eviction` was left at the Lru default, the node
+  /// upgrades itself to TwoQ so replicas survive one-pass scans.
+  std::optional<ReplicationConfig> replication;
 };
 
 /// Monotonic counters kept by each storage node. All cheap relaxed atomics.
@@ -118,6 +155,10 @@ struct StorageStats {
   std::uint64_t prefetch_requests = 0;
   std::uint64_t decoded_blocks = 0;    ///< codec frames decoded on the fetch path
   std::uint64_t decoded_bytes = 0;     ///< raw bytes those decodes produced
+  std::uint64_t replica_hits = 0;      ///< fetches served from a peer's in-memory replica
+  std::uint64_t replica_misses = 0;    ///< hot-block fetches that still had to hit disk
+  std::uint64_t replica_promotions = 0;  ///< blocks that crossed the hot threshold here
+  std::uint64_t replica_bypass = 0;    ///< at-cap installs kept transient (unlisted)
   double disk_read_seconds = 0.0;      ///< time the I/O filters spent reading
   double disk_write_seconds = 0.0;
   double decode_seconds = 0.0;         ///< fetcher-thread time spent decoding

@@ -22,6 +22,8 @@
 // unified Prometheus export (samples stay distinguishable through their
 // per-process node/pid label). The causal analyses need one process's
 // flow graph and reject a multi-file invocation.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -161,6 +163,39 @@ void report_one(const std::string& path, const std::vector<obs::ParsedEvent>& ev
     }
     std::printf("(%.1f%% of I/O hidden behind compute across these phases)\n",
                 100.0 * s.overlap_fraction());
+  }
+
+  // Block-fetch source breakdown (hot-block replication triage). The
+  // storage layer tags each cat "storage" name "block_fetch" span with a
+  // "src" arg — 0 home-disk, 1 replica, 2 failover, 3 await (see
+  // docs/TRACE_SCHEMA.md). A healthy replicated run shows its hot reads
+  // under "replica"; a run stuck on "home-disk" never crossed the
+  // DOOC_REPLICATION hot threshold.
+  {
+    static constexpr const char* kSrcNames[] = {"home-disk", "replica", "failover", "await"};
+    std::uint64_t counts[4] = {0, 0, 0, 0};
+    double us[4] = {0.0, 0.0, 0.0, 0.0};
+    std::uint64_t total = 0;
+    for (const obs::ParsedEvent& ev : events) {
+      if (ev.phase != 'X' || ev.cat != "storage" || ev.name != "block_fetch") continue;
+      const auto it = ev.args.find("src");
+      if (it == ev.args.end()) continue;
+      const auto src = static_cast<std::size_t>(it->second);
+      if (src >= 4) continue;
+      ++counts[src];
+      us[src] += ev.dur_us;
+      ++total;
+    }
+    if (total > 0) {
+      std::printf("\nblock-fetch sources (%llu tagged fetches):\n",
+                  static_cast<unsigned long long>(total));
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (counts[i] == 0) continue;
+        std::printf("  %-10s %8llu fetches %12.3f ms (%.1f%%)\n", kSrcNames[i],
+                    static_cast<unsigned long long>(counts[i]), us[i] * 1e-3,
+                    100.0 * static_cast<double>(counts[i]) / static_cast<double>(total));
+      }
+    }
   }
 
   const auto top = obs::slowest(events, top_n, cat);
